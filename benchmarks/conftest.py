@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints it.  The simulation horizon is controlled by ``REPRO_SCALE``:
+
+- ``smoke`` (default here): short runs -- the orderings the paper reports
+  are already visible, and the whole suite stays fast;
+- ``quick``: 400 s simulated per point;
+- ``paper``: the paper's full 2,000,000-clock horizon per point.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+regenerated tables inline.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.experiments import SMOKE, scale_from_env
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The RunScale for every benchmark (REPRO_SCALE overrides)."""
+    return scale_from_env(default=SMOKE)
+
+
+@pytest.fixture
+def show():
+    """Print a regenerated ExperimentOutput as an aligned table."""
+
+    def _show(output):
+        print()
+        print(render_table(output.headers, output.rows, title=output.title))
+        if output.paper_reference:
+            print(f"[paper] {output.paper_reference}")
+        return output
+
+    return _show

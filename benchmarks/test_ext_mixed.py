@@ -1,0 +1,53 @@
+"""Extension bench: mixed small-job / bulk-batch workload.
+
+The paper's motivation scenario, quantified: per-class response times
+under each scheduler.  Shape expectation: the chain-avoiding schedulers
+(ASL/GOW/LOW) keep small-job latency far below C2PL's, and OPT starves
+the bulk class (large transactions keep failing validation).
+"""
+
+from repro.analysis import render_table
+from repro.machine import MachineConfig
+from repro.sim.simulation import Simulation
+from repro.txn import mixed_workload
+
+SCHEDULERS = ("NODC", "ASL", "GOW", "LOW", "C2PL", "OPT")
+
+
+def test_ext_mixed(benchmark, scale, show):
+    def run():
+        rows = []
+        for scheduler in SCHEDULERS:
+            result = Simulation(
+                MachineConfig(dd=1, num_files=16),
+                mixed_workload(2.0, small_share=0.8),
+                scheduler=scheduler,
+                seed=2,
+                duration_ms=scale.duration_ms,
+                warmup_ms=scale.warmup_ms,
+            ).run()
+            small = result.label_metrics.get("small", (0, float("nan")))
+            bulk = result.label_metrics.get("bulk", (0, float("nan")))
+            rows.append([
+                scheduler,
+                result.throughput_tps,
+                small[1] / 1000.0,
+                bulk[1] / 1000.0,
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["scheduler", "TPS", "small RT(s)", "bulk RT(s)"],
+        rows,
+        title="Extension: mixed small/bulk workload (2.0 TPS, 80% small)",
+    ))
+
+    by = {row[0]: row for row in rows}
+    # chain avoiders protect small-job latency vs C2PL
+    for good in ("ASL", "LOW"):
+        assert by[good][2] < by["C2PL"][2] * 1.1
+    # every locking scheduler completes both classes
+    for scheduler in ("ASL", "GOW", "LOW", "C2PL"):
+        assert by[scheduler][1] > 1.0

@@ -1,0 +1,27 @@
+"""Fig. 10: response-time speedup vs DD at lambda = 1.2 TPS.
+
+Paper shape: ASL/GOW/LOW show the best (near-linear) speedup; C2PL+M's
+speedup is capped by blocking chains; OPT's by restart-saturated
+resources; NODC's by already being resource-bound (~2x at DD = 8).
+"""
+
+from repro.experiments import exp1
+
+
+def test_fig10(benchmark, scale, show):
+    output = benchmark.pedantic(
+        lambda: exp1.figure10(scale, dds=(1, 4, 8), mpl_candidates=(4, 8, 16)),
+        rounds=1,
+        iterations=1,
+    )
+    show(output)
+
+    by = output.as_dict()
+    # baseline row is exactly 1
+    for scheduler in ("NODC", "ASL", "GOW", "LOW", "C2PL+M", "OPT"):
+        assert by[scheduler][0] == 1.0
+    # the blocking-chain avoiders benefit from parallelism at heavy load
+    for scheduler in ("ASL", "GOW", "LOW"):
+        assert by[scheduler][-1] > 1.2
+    # and OPT gains the least among lock/validation schedulers
+    assert by["OPT"][-1] <= min(by[s][-1] for s in ("ASL", "GOW", "LOW"))

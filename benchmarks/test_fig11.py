@@ -1,0 +1,28 @@
+"""Fig. 11: response-time speedup (DD = 1 -> 4) vs arrival rate.
+
+Paper shape: at light loads every scheduler enjoys the parallelism;
+at heavy loads (lambda above C2PL's DD = 4 capacity) only ASL/GOW/LOW
+keep high speedup -- C2PL's blocking chains and OPT's restarts flatten
+theirs.
+"""
+
+from repro.experiments import exp1
+
+
+def test_fig11(benchmark, scale, show):
+    output = benchmark.pedantic(
+        lambda: exp1.figure11(scale, rates=(0.4, 1.2), dd=4),
+        rounds=1,
+        iterations=1,
+    )
+    show(output)
+
+    by = output.as_dict()
+    light, heavy = 0, 1
+    # parallelism helps every scheduler at light load
+    for scheduler in ("NODC", "ASL", "GOW", "LOW", "C2PL", "OPT"):
+        assert by[scheduler][light] > 1.0
+    # at heavy load the blocking-chain avoiders keep better speedup
+    # than OPT (the paper's observations #2-#4)
+    for good in ("ASL", "GOW", "LOW"):
+        assert by[good][heavy] > by["OPT"][heavy] * 0.9

@@ -1,0 +1,32 @@
+"""Fig. 8: arrival rate vs mean response time (DD = 1, NumFiles = 16).
+
+Paper shape: every scheduler's RT curve blows up well below NODC's
+saturation rate of ~1.04 TPS (data contention dominates resource
+congestion for bulk-update batches); ASL/GOW/LOW blow up latest,
+C2PL and OPT earliest.
+"""
+
+from repro.experiments import exp1
+
+
+def test_fig8(benchmark, scale, show):
+    output = benchmark.pedantic(
+        lambda: exp1.figure8(scale, rates=(0.2, 0.6, 1.0, 1.2)),
+        rounds=1,
+        iterations=1,
+    )
+    show(output)
+
+    rates = output.column("lambda_tps")
+    heavy = rates.index(1.2)
+    light = rates.index(0.2)
+    for scheduler in ("NODC", "ASL", "GOW", "LOW", "C2PL", "OPT"):
+        series = output.column(scheduler)
+        assert series[light] > 0
+        # response time grows with load for every scheduler
+        assert series[heavy] > series[light]
+    # locking/contention puts every scheduler above the NODC bound
+    # at heavy load
+    nodc_heavy = output.column("NODC")[heavy]
+    for scheduler in ("ASL", "GOW", "LOW", "C2PL", "OPT"):
+        assert output.column(scheduler)[heavy] > nodc_heavy * 0.9

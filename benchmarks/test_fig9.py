@@ -1,0 +1,31 @@
+"""Fig. 9: throughput (TPS) at RT = 70 s vs degree of declustering.
+
+Paper shape: ASL/GOW/LOW reach ~85% useful utilisation already at
+DD = 2 (1.5x C2PL); all lock-based schedulers converge near NODC by
+DD = 8; OPT stays lowest.
+"""
+
+from repro.experiments import exp1
+
+
+def test_fig9(benchmark, scale, show):
+    output = benchmark.pedantic(
+        lambda: exp1.figure9(scale, dds=(1, 2, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    show(output)
+
+    by = output.as_dict()
+    dd_index = {dd: i for i, dd in enumerate(by["dd"])}
+    # parallelism raises lock-based throughput
+    for scheduler in ("ASL", "GOW", "LOW", "C2PL"):
+        assert by[scheduler][dd_index[8]] > by[scheduler][dd_index[1]]
+    # at limited parallelism the blocking-chain avoiders beat C2PL
+    i2 = dd_index[2]
+    for good in ("ASL", "GOW", "LOW"):
+        assert by[good][i2] > by["C2PL"][i2] * 0.9
+    # by DD = 8 the lock-based schedulers close on NODC
+    i8 = dd_index[8]
+    for good in ("ASL", "GOW", "LOW"):
+        assert by[good][i8] > by["NODC"][i8] * 0.7

@@ -1,0 +1,93 @@
+"""Microbenchmarks of the substrate: DES engine, chain solver, WTPG.
+
+These are ordinary pytest-benchmark measurements (multiple rounds) of
+the hot paths underneath the reproduction, useful to catch performance
+regressions independently of any experiment.
+"""
+
+import random
+
+from repro.core import WTPG
+from repro.core.chain import ChainComponent, ChainEdge, LEFT, RIGHT, solve_component
+from repro.des import Environment
+from repro.txn import AccessMode, BatchTransaction, Step
+
+
+def run_event_storm():
+    """10k timeout events through the engine."""
+    env = Environment()
+
+    def ticker(env, n):
+        for _ in range(n):
+            yield env.timeout(1.0)
+
+    env.process(ticker(env, 10_000))
+    env.run()
+    return env.now
+
+
+def test_perf_des_engine(benchmark):
+    now = benchmark(run_event_storm)
+    assert now == 10_000.0
+
+
+def make_chain(k, seed=7):
+    rng = random.Random(seed)
+    return ChainComponent(
+        nodes=list(range(k)),
+        node_weights=[rng.uniform(0, 10) for _ in range(k)],
+        edges=[
+            ChainEdge(
+                i,
+                i + 1,
+                rng.uniform(0, 10),
+                rng.uniform(0, 10),
+                frozenset({RIGHT, LEFT}),
+            )
+            for i in range(k - 1)
+        ],
+    )
+
+
+def test_perf_chain_solver_64_nodes(benchmark):
+    """GOW's W computation on a 64-transaction chain."""
+    component = make_chain(64)
+    value, directions = benchmark(solve_component, component)
+    assert len(directions) == 63
+    assert value > 0
+
+
+def make_txn(txn_id, rng, num_files=16):
+    files = rng.sample(range(num_files), 2)
+    return BatchTransaction(
+        txn_id,
+        [
+            Step(files[0], AccessMode.EXCLUSIVE, 1.0),
+            Step(files[1], AccessMode.EXCLUSIVE, 5.0),
+        ],
+        arrival_time=0.0,
+    )
+
+
+def run_wtpg_churn():
+    """Add/grant/remove 300 transactions through a shared WTPG."""
+    rng = random.Random(3)
+    wtpg = WTPG()
+    live = []
+    for txn_id in range(300):
+        txn = make_txn(txn_id, rng)
+        wtpg.add_transaction(txn)
+        live.append(txn)
+        for file_id in txn.files:
+            fixes = wtpg.fixes_for_grant(txn.txn_id, file_id)
+            if not wtpg.creates_cycle(fixes):
+                wtpg.grant(txn.txn_id, file_id, propagate=False)
+        if len(live) > 60:  # keep a realistic live-set size
+            gone = live.pop(0)
+            wtpg.remove_transaction(gone.txn_id)
+    return len(wtpg)
+
+
+def test_perf_wtpg_churn(benchmark):
+    remaining = benchmark(run_wtpg_churn)
+    assert remaining == 60

@@ -1,0 +1,31 @@
+"""Table 4: hot-set throughput (at RT = 70 s) and response time (at
+1.2 TPS) vs DD -- Experiment 2.
+
+Paper shape at DD = 1: LOW best lock-based (0.77), then C2PL (0.7),
+then GOW (0.57), ASL worst except OPT (0.4); parallelism (DD = 4)
+brings everyone but OPT close to NODC.
+"""
+
+from repro.experiments import exp2
+
+
+def test_table4(benchmark, scale, show):
+    output = benchmark.pedantic(
+        lambda: exp2.table4(scale, dds=(1, 4)),
+        rounds=1,
+        iterations=1,
+    )
+    show(output)
+
+    by = output.as_dict()
+    metrics = by["metric"]
+    thruput_dd1 = metrics.index("thruput DD=1")
+    thruput_dd4 = metrics.index("thruput DD=4")
+    # the paper's headline: LOW beats GOW and ASL when updating a hot set
+    assert by["LOW"][thruput_dd1] > by["GOW"][thruput_dd1] * 0.95
+    assert by["LOW"][thruput_dd1] > by["ASL"][thruput_dd1]
+    assert by["LOW"][thruput_dd1] > by["OPT"][thruput_dd1]
+    # parallelism lifts every lock-based scheduler (tolerance for the
+    # short-horizon bisection noise at smoke scale)
+    for scheduler in ("ASL", "GOW", "LOW", "C2PL"):
+        assert by[scheduler][thruput_dd4] > by[scheduler][thruput_dd1] * 0.85

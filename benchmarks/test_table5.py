@@ -1,0 +1,24 @@
+"""Table 5: sensitivity degradation ratio TPS(sigma=10)/TPS(sigma=0).
+
+Paper: GOW 94/96/97.5 %, LOW 77/84/93 % at DD = 1/2/4 -- GOW's
+chain-form constraint makes it less sensitive to bad declarations, and
+both schedulers get *less* sensitive as parallelism grows.
+"""
+
+from repro.experiments import exp3
+
+
+def test_table5(benchmark, scale, show):
+    output = benchmark.pedantic(
+        lambda: exp3.table5(scale=scale, dds=(1, 4)),
+        rounds=1,
+        iterations=1,
+    )
+    show(output)
+
+    by = output.as_dict()
+    for scheduler_row in output.rows:
+        name = scheduler_row[0]
+        # degradation bounded (ratios are percentages)
+        for value in scheduler_row[1:]:
+            assert 50.0 <= value <= 115.0, f"{name}: {value}"

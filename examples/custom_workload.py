@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Build a custom batch workload with the pattern DSL.
+
+Models a nightly reporting pipeline on a 4-node machine:
+
+- ``etl``     : scan a staging file and rewrite a fact file,
+- ``report``  : heavy read over the fact file plus a dimension file,
+- ``cleanup`` : small update of the staging file.
+
+Each arrival picks one of the three job types.  The example also shows
+per-file declustering overrides (the fact file is spread wider than the
+rest) and the declaration-error model (costs estimated within +/-30%).
+
+Usage::
+
+    python examples/custom_workload.py [SCHEDULER]
+"""
+
+import sys
+
+from repro import MachineConfig, Pattern, Workload
+from repro.analysis import render_table
+from repro.machine import DataPlacement
+from repro.sim.simulation import Simulation
+from repro.txn.workload import DeclarationErrorModel
+
+# files: 0 = staging, 1 = fact, 2, 3 = dimensions
+ETL = Pattern.parse("r(0:2) -> w(1:4)")
+REPORT = Pattern.parse("r(1:6) -> r(D:1)")
+CLEANUP = Pattern.parse("w(0:0.5)")
+
+JOB_MIX = (
+    (0.50, ETL),
+    (0.35, REPORT),
+    (0.15, CLEANUP),
+)
+
+
+def choose_job_files(streams):
+    """Pick a job type by weight, binding REPORT's dimension file."""
+    roll = streams.stream("job-mix").random()
+    cumulative = 0.0
+    for weight, pattern in JOB_MIX:
+        cumulative += weight
+        if roll <= cumulative:
+            break
+    dimension = streams.uniform_int("dimension", 2, 3)
+    return {"D": dimension, "__pattern__": pattern}
+
+
+class MixedWorkload(Workload):
+    """A workload drawing from several patterns per arrival."""
+
+    def make_transaction(self, arrival_time, streams):
+        binding = dict(choose_job_files(streams))
+        pattern = binding.pop("__pattern__")
+        steps = pattern.instantiate(binding)
+        declared = self.error_model.declare([s.cost for s in steps], streams)
+        from repro.txn import BatchTransaction
+
+        return BatchTransaction(
+            txn_id=self.allocate_txn_id(),
+            steps=steps,
+            arrival_time=arrival_time,
+            declared_costs=declared,
+        )
+
+
+def main() -> None:
+    scheduler = sys.argv[1] if len(sys.argv) > 1 else "LOW"
+
+    config = MachineConfig(num_nodes=4, num_files=4, dd=1)
+    # spread the hot fact file across all 4 nodes, keep the rest local
+    placement = DataPlacement(config, dd_overrides={1: 4})
+
+    workload = MixedWorkload(
+        ETL,  # placeholder; make_transaction picks the real pattern
+        choose_job_files,
+        arrival_rate_tps=0.4,
+        error_model=DeclarationErrorModel(sigma=0.3),
+        name="nightly-pipeline",
+    )
+
+    sim = Simulation(
+        config,
+        workload,
+        scheduler=scheduler,
+        seed=23,
+        duration_ms=600_000,
+        warmup_ms=60_000,
+    )
+    sim.machine.placement = placement  # apply the override placement
+    result = sim.run()
+
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["scheduler", scheduler],
+            ["committed jobs", result.completed],
+            ["throughput (TPS)", result.throughput_tps],
+            ["mean response (s)", result.mean_response_s],
+            ["p95 response (s)", result.p95_response_ms / 1000.0],
+            ["DPN utilisation", result.dpn_utilisation],
+            ["blocks", result.blocks],
+            ["delays", result.delays],
+        ],
+        title="Nightly pipeline on a 4-node machine (fact file declustered x4)",
+    ))
+    print(
+        "\nNote how the WTPG schedulers take the +/-30% declared-cost error "
+        "in stride (the paper's Experiment 3 studies exactly this)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Intra-transaction parallelism: response-time speedup from declustering.
+
+A shared-nothing machine tunes data placement for short transactions,
+which limits how many nodes a batch's file scan can use (the degree of
+declustering, DD).  This example sweeps DD and reports each scheduler's
+response-time speedup relative to DD = 1 at a heavy load -- the paper's
+Fig. 10 scenario.
+
+The headline: ASL, GOW and LOW turn limited parallelism into near-linear
+speedup even under heavy load, while C2PL's blocking chains and OPT's
+restart-saturated resources waste it.
+
+Usage::
+
+    python examples/declustering_speedup.py [ARRIVAL_RATE_TPS]
+"""
+
+import sys
+
+from repro import MachineConfig, experiment1_workload, run_simulation
+from repro.analysis import render_series
+
+SCHEDULERS = ("NODC", "ASL", "GOW", "LOW", "C2PL", "OPT")
+DDS = (1, 2, 4, 8)
+
+
+def main() -> None:
+    rate = float(sys.argv[1]) if len(sys.argv) > 1 else 1.2
+
+    response_times = {s: [] for s in SCHEDULERS}
+    for dd in DDS:
+        config = MachineConfig(dd=dd, num_files=16)
+        for scheduler in SCHEDULERS:
+            result = run_simulation(
+                scheduler,
+                experiment1_workload(rate, num_files=16),
+                config,
+                seed=5,
+                duration_ms=500_000,
+                warmup_ms=60_000,
+            )
+            response_times[scheduler].append(result.mean_response_ms)
+
+    speedups = {
+        s: [rts[0] / rt if rt > 0 else float("nan") for rt in rts]
+        for s, rts in response_times.items()
+    }
+    print(render_series(
+        "DD",
+        list(DDS),
+        speedups,
+        title=f"Response-time speedup vs DD=1 at {rate} TPS (Fig. 10 scenario)",
+    ))
+    print(
+        "\nASL/GOW/LOW obtain high speedup already at DD <= 4 -- blocking, "
+        "not bandwidth, dominated their DD=1 response times, and these "
+        "three schedulers convert parallelism into shorter lock-holding "
+        "times without restarts.  NODC barely speeds up (it was already "
+        "resource-bound), and OPT's restarts keep the machine saturated."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Hot-set scenario: periodic batches updating master files.
+
+The paper's Experiment 2: every batch bulk-reads one of 8 read-only
+files and then updates two of 8 'hot' master files.  Concurrency is
+scarce -- at most a handful of updaters can touch a hot file at once --
+so how many transactions a scheduler lets *start* dominates.
+
+This example shows the paper's Section 5.2 finding: LOW (which admits
+non-chain conflict patterns up to its K limit) beats both GOW (whose
+chain-form test rejects too many starts) and ASL (which cannot start a
+transaction until every hot file it needs is free).
+
+Usage::
+
+    python examples/hot_set_updates.py [ARRIVAL_RATE_TPS]
+"""
+
+import sys
+
+from repro import MachineConfig, experiment2_workload, run_simulation
+from repro.analysis import render_table
+
+SCHEDULERS = ("NODC", "LOW", "C2PL", "GOW", "ASL", "OPT")
+
+
+def main() -> None:
+    rate = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+
+    rows = []
+    for dd in (1, 4):
+        config = MachineConfig(dd=dd, num_files=16)
+        for scheduler in SCHEDULERS:
+            result = run_simulation(
+                scheduler,
+                experiment2_workload(rate),
+                config,
+                seed=11,
+                duration_ms=500_000,
+                warmup_ms=60_000,
+            )
+            rows.append([
+                dd,
+                scheduler,
+                result.throughput_tps,
+                result.mean_response_s,
+                result.admission_rejections,
+            ])
+
+    print(render_table(
+        ["DD", "scheduler", "TPS", "meanRT(s)", "start rejections"],
+        rows,
+        title=f"Hot-set batch updates at {rate} TPS (Experiment 2)",
+    ))
+    print(
+        "\nReading the table: at DD=1 LOW sustains the highest lock-based "
+        "throughput; ASL's atomic all-locks-at-start admission starves on "
+        "the hot files (see its rejection count), and GOW's chain-form "
+        "constraint sits in between.  Parallelism (DD=4) narrows the gap, "
+        "which is the paper's argument that the scheduler choice matters "
+        "most exactly when placement tuning limits parallelism."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Mixed workload: small jobs sharing the machine with bulk updates.
+
+The paper's introduction motivates the whole study with "heavy
+mixed-workload of short-term transactions and batch transactions".  This
+example puts numbers on it: 80% of arrivals are small single-file
+updates (0.1 objects ~ 100 ms of scan), 20% are Pattern-1 bulk batches,
+and we report *per-class* response times per scheduler.
+
+The punchline mirrors the paper: a scheduler that avoids chains of
+blocking protects the small jobs from queueing behind bulk updates.
+
+Usage::
+
+    python examples/mixed_oltp_batch.py [TOTAL_RATE_TPS] [SMALL_SHARE]
+"""
+
+import sys
+
+from repro import MachineConfig, run_simulation
+from repro.analysis import render_table
+from repro.txn import mixed_workload
+
+SCHEDULERS = ("NODC", "ASL", "GOW", "LOW", "C2PL", "OPT")
+
+
+def main() -> None:
+    rate = float(sys.argv[1]) if len(sys.argv) > 1 else 2.0
+    small_share = float(sys.argv[2]) if len(sys.argv) > 2 else 0.8
+
+    rows = []
+    for scheduler in SCHEDULERS:
+        result = run_simulation(
+            scheduler,
+            mixed_workload(rate, small_share=small_share),
+            MachineConfig(dd=1, num_files=16),
+            seed=2,
+            duration_ms=500_000,
+            warmup_ms=60_000,
+        )
+        small_count, small_rt = result.label_metrics.get("small", (0, float("nan")))
+        bulk_count, bulk_rt = result.label_metrics.get("bulk", (0, float("nan")))
+        rows.append([
+            scheduler,
+            result.throughput_tps,
+            small_rt / 1000.0,
+            bulk_rt / 1000.0,
+            small_count,
+            bulk_count,
+        ])
+
+    print(render_table(
+        ["scheduler", "TPS", "small RT(s)", "bulk RT(s)", "#small", "#bulk"],
+        rows,
+        title=(
+            f"Mixed workload at {rate} TPS total "
+            f"({small_share:.0%} small single-file updates)"
+        ),
+    ))
+    print(
+        "\nSmall jobs are the collateral damage of blocking chains: under "
+        "C2PL they queue behind bulk updates holding hot files, while "
+        "ASL/GOW/LOW keep their latency near the no-contention bound.  "
+        "(OPT instead sacrifices the *bulk* class: big transactions keep "
+        "failing validation against small committed writers.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

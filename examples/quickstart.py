@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one batch-transaction scheduler.
+
+Runs the paper's Experiment-1 workload (bulk read + bulk update of two
+random files) under the LOW scheduler on the 8-node shared-nothing
+machine, and prints the steady-state metrics.
+
+Usage::
+
+    python examples/quickstart.py [SCHEDULER] [ARRIVAL_RATE_TPS]
+"""
+
+import sys
+
+from repro import MachineConfig, experiment1_workload, run_simulation
+
+
+def main() -> None:
+    scheduler = sys.argv[1] if len(sys.argv) > 1 else "LOW"
+    rate = float(sys.argv[2]) if len(sys.argv) > 2 else 0.8
+
+    config = MachineConfig(
+        num_nodes=8,  # data-processing nodes (Table 1)
+        num_files=16,  # file-level locking granules
+        dd=2,  # each file declustered over 2 nodes
+    )
+    workload = experiment1_workload(arrival_rate_tps=rate, num_files=16)
+
+    print(f"Simulating {scheduler} at {rate} TPS on {config.num_nodes} nodes "
+          f"(DD={config.dd}) for 400 simulated seconds...")
+    result = run_simulation(
+        scheduler,
+        workload,
+        config,
+        seed=42,
+        duration_ms=400_000,
+        warmup_ms=50_000,
+    )
+
+    print(f"\n  committed transactions : {result.completed}")
+    print(f"  throughput             : {result.throughput_tps:.3f} TPS")
+    print(f"  mean response time     : {result.mean_response_s:.1f} s")
+    print(f"  95th pct response time : {result.p95_response_ms / 1000:.1f} s")
+    print(f"  DPN utilisation        : {result.dpn_utilisation:.0%}")
+    print(f"  CN (coordinator) load  : {result.cn_utilisation:.0%}")
+    print(f"  lock blocks / delays   : {result.blocks} / {result.delays}")
+    if result.restarts:
+        print(f"  optimistic restarts    : {result.restarts}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation.
+
+Runs Experiments 1-3 end to end and writes one text table per
+table/figure (plus CSVs) into ``results/<scale>/``.
+
+Usage::
+
+    python examples/reproduce_paper.py [--scale smoke|quick|paper]
+                                       [--only fig8,table2,...]
+                                       [--seed N]
+
+``--scale paper`` matches the paper's 2,000,000-clock horizon per point
+(slow: hours).  ``quick`` preserves every qualitative shape in minutes.
+"""
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.analysis import render_table, to_csv
+from repro.experiments import PAPER, QUICK, SMOKE, exp1, exp2, exp3
+
+SCALES = {"smoke": SMOKE, "quick": QUICK, "paper": PAPER}
+
+EXPERIMENTS = {
+    "fig8": lambda scale, seed: exp1.figure8(scale, seed=seed),
+    "table2": lambda scale, seed: exp1.table2(scale, seed=seed),
+    "fig9": lambda scale, seed: exp1.figure9(scale, seed=seed),
+    "table3": lambda scale, seed: exp1.table3(scale, seed=seed),
+    "fig10": lambda scale, seed: exp1.figure10(scale, seed=seed),
+    "fig11": lambda scale, seed: exp1.figure11(scale, seed=seed),
+    "table4": lambda scale, seed: exp2.table4(scale, seed=seed),
+    "fig12": lambda scale, seed: exp2.figure12(scale, seed=seed),
+    "fig13": lambda scale, seed: exp3.figure13(scale, seed=seed),
+    "table5": lambda scale, seed: exp3.table5(scale=scale, seed=seed),
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    parser.add_argument(
+        "--only",
+        default="",
+        help="comma-separated experiment ids (default: all)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="results")
+    args = parser.parse_args()
+
+    scale = SCALES[args.scale]
+    wanted = [w for w in args.only.split(",") if w] or list(EXPERIMENTS)
+    unknown = set(wanted) - set(EXPERIMENTS)
+    if unknown:
+        parser.error(f"unknown experiment ids: {sorted(unknown)}")
+
+    out_dir = pathlib.Path(args.out) / args.scale
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    for experiment_id in wanted:
+        started = time.time()
+        print(f"=== {experiment_id} (scale={args.scale}) ...", flush=True)
+        output = EXPERIMENTS[experiment_id](scale, args.seed)
+        table = render_table(output.headers, output.rows, title=output.title)
+        print(table)
+        if output.paper_reference:
+            print(f"[paper] {output.paper_reference}")
+        print(f"[{time.time() - started:.1f}s]\n", flush=True)
+        (out_dir / f"{experiment_id}.txt").write_text(
+            table + "\n\n[paper] " + output.paper_reference + "\n"
+        )
+        (out_dir / f"{experiment_id}.csv").write_text(
+            to_csv(output.headers, output.rows)
+        )
+    print(f"Wrote results to {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""repro: reproduction of Ohmori, Kitsuregawa & Tanaka (ICDE 1991),
+"Scheduling Batch Transactions on Shared-Nothing Parallel Database
+Machines: Effects of Concurrency and Parallelism".
+
+A discrete-event simulation study of concurrency-control schedulers for
+bulk-update batch transactions.  Quickstart::
+
+    from repro import MachineConfig, run_simulation, experiment1_workload
+
+    result = run_simulation(
+        "LOW", experiment1_workload(arrival_rate_tps=1.0),
+        MachineConfig(dd=4), duration_ms=400_000,
+    )
+    print(result.scheduler, result.throughput_tps, result.mean_response_s)
+
+Packages:
+
+- :mod:`repro.des` -- the discrete-event kernel.
+- :mod:`repro.machine` -- the shared-nothing machine model.
+- :mod:`repro.txn` -- batch transactions, patterns, workloads.
+- :mod:`repro.core` -- the WTPG and the six schedulers (the paper's
+  contribution).
+- :mod:`repro.sim` -- simulation runs, metrics, operating-point search.
+- :mod:`repro.experiments` -- one function per paper table/figure.
+- :mod:`repro.analysis` -- text-table / CSV reporting.
+"""
+
+from repro.core import (
+    PAPER_SCHEDULERS,
+    SerializabilityAuditor,
+    WTPG,
+    available,
+    create,
+)
+from repro.machine import DataPlacement, MachineConfig, SharedNothingMachine
+from repro.sim import (
+    Simulation,
+    SimulationResult,
+    find_throughput_at_response_time,
+    run_at_rate,
+    run_simulation,
+)
+from repro.txn import (
+    PATTERN_1,
+    PATTERN_2,
+    BatchTransaction,
+    Pattern,
+    Workload,
+    experiment1_workload,
+    experiment2_workload,
+    experiment3_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchTransaction",
+    "DataPlacement",
+    "MachineConfig",
+    "PAPER_SCHEDULERS",
+    "PATTERN_1",
+    "PATTERN_2",
+    "Pattern",
+    "SerializabilityAuditor",
+    "SharedNothingMachine",
+    "Simulation",
+    "SimulationResult",
+    "WTPG",
+    "Workload",
+    "__version__",
+    "available",
+    "create",
+    "experiment1_workload",
+    "experiment2_workload",
+    "experiment3_workload",
+    "find_throughput_at_response_time",
+    "run_at_rate",
+    "run_simulation",
+]

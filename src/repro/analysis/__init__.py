@@ -1,0 +1,8 @@
+"""Reporting helpers: text tables, figure-as-series rendering, CSV."""
+
+from repro.analysis import paper_data
+from repro.analysis.compare import ordering_agreement, ratio_spread
+from repro.analysis.plot import ascii_chart
+from repro.analysis.report import format_cell, render_series, render_table, to_csv
+
+__all__ = ["ascii_chart", "ordering_agreement", "paper_data", "ratio_spread", "format_cell", "render_series", "render_table", "to_csv"]

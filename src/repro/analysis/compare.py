@@ -1,0 +1,71 @@
+"""Paper-vs-measured agreement metrics.
+
+The reproduction targets the paper's *shape*, not its absolute numbers.
+These helpers quantify shape agreement:
+
+- :func:`ordering_agreement` -- Kendall-style concordance of pairwise
+  orderings between a measured and a reference ranking;
+- :func:`ratio_spread` -- how far a uniform rescaling can bring the
+  measured values onto the reference (geometric spread of the
+  per-entry ratios).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import typing
+
+Mapping = typing.Mapping[str, float]
+
+
+def ordering_agreement(measured: Mapping, reference: Mapping) -> float:
+    """Fraction of concordant pairs between the two value maps (0..1).
+
+    Compares every unordered key pair present in both maps; ties in
+    either map count as half-concordant.  1.0 means the measured values
+    rank the schedulers exactly as the paper does.
+    """
+    keys = sorted(set(measured) & set(reference))
+    if len(keys) < 2:
+        raise ValueError("need at least two common keys to compare")
+    concordant = 0.0
+    pairs = 0
+    for a, b in itertools.combinations(keys, 2):
+        pairs += 1
+        measured_sign = _sign(measured[a] - measured[b])
+        reference_sign = _sign(reference[a] - reference[b])
+        if measured_sign == reference_sign:
+            concordant += 1.0
+        elif measured_sign == 0 or reference_sign == 0:
+            concordant += 0.5
+    return concordant / pairs
+
+
+def _sign(value: float) -> int:
+    if value > 0:
+        return 1
+    if value < 0:
+        return -1
+    return 0
+
+
+def ratio_spread(measured: Mapping, reference: Mapping) -> float:
+    """Geometric spread of measured/reference ratios (>= 1.0).
+
+    1.0 means a single scale factor maps the measured values exactly
+    onto the reference; 2.0 means per-entry ratios span a factor of two
+    around their geometric mean.  Entries with non-positive or NaN
+    values are skipped.
+    """
+    ratios = []
+    for key in set(measured) & set(reference):
+        m, r = measured[key], reference[key]
+        if m > 0 and r > 0 and not (math.isnan(m) or math.isnan(r)):
+            ratios.append(m / r)
+    if not ratios:
+        raise ValueError("no comparable entries")
+    logs = [math.log(r) for r in ratios]
+    centre = sum(logs) / len(logs)
+    worst = max(abs(value - centre) for value in logs)
+    return math.exp(worst)

@@ -1,0 +1,44 @@
+"""The paper's published numbers (Tables 2-5), as data.
+
+Used by the comparison helpers and the benchmark suite to check
+measured results against the 1991 publication without hand-copying
+numbers into every test.
+"""
+
+from __future__ import annotations
+
+#: Table 2 -- throughput (TPS) at RT = 70 s, DD = 1, by NumFiles
+TABLE2 = {
+    8: {"NODC": 1.02, "ASL": 0.45, "GOW": 0.44, "LOW": 0.44, "C2PL": 0.25, "OPT": 0.16},
+    16: {"NODC": 1.04, "ASL": 0.72, "GOW": 0.67, "LOW": 0.65, "C2PL": 0.35, "OPT": 0.24},
+    32: {"NODC": 1.04, "ASL": 0.90, "GOW": 0.86, "LOW": 0.83, "C2PL": 0.50, "OPT": 0.30},
+    64: {"NODC": 1.04, "ASL": 0.96, "GOW": 0.95, "LOW": 0.94, "C2PL": 0.62, "OPT": 0.38},
+}
+
+#: Table 3 -- response time (s) at lambda = 1.2 TPS, NumFiles = 16, by DD
+TABLE3 = {
+    1: {"NODC": 141, "ASL": 387, "GOW": 429, "LOW": 430, "C2PL+M": 669, "OPT": 783},
+    2: {"NODC": 103, "ASL": 183, "GOW": 233, "LOW": 245, "C2PL+M": 479, "OPT": 555},
+    4: {"NODC": 74, "ASL": 83, "GOW": 102, "LOW": 107, "C2PL+M": 250, "OPT": 494},
+    8: {"NODC": 58, "ASL": 48, "GOW": 47, "LOW": 47, "C2PL+M": 50, "OPT": 490},
+}
+
+#: Table 4 -- hot-set throughput (TPS at RT = 70 s) by DD
+TABLE4_THROUGHPUT = {
+    1: {"NODC": 1.10, "ASL": 0.40, "GOW": 0.57, "LOW": 0.77, "C2PL": 0.70, "OPT": 0.38},
+    2: {"NODC": 1.11, "ASL": 0.70, "GOW": 0.88, "LOW": 1.01, "C2PL": 0.92, "OPT": 0.55},
+    4: {"NODC": 1.13, "ASL": 1.03, "GOW": 1.10, "LOW": 1.12, "C2PL": 1.09, "OPT": 0.85},
+}
+
+#: Table 4 -- hot-set response time (s) at lambda = 1.2 TPS by DD
+TABLE4_RESPONSE = {
+    1: {"NODC": 112, "ASL": 611, "GOW": 500, "LOW": 321, "C2PL": 432, "OPT": 751},
+    2: {"NODC": 97, "ASL": 380, "GOW": 252, "LOW": 133, "C2PL": 242, "OPT": 746},
+    4: {"NODC": 87, "ASL": 116, "GOW": 80, "LOW": 57, "C2PL": 118, "OPT": 457},
+}
+
+#: Table 5 -- degradation ratio (%) TPS(sigma=10)/TPS(sigma=0) by DD
+TABLE5 = {
+    "GOW": {1: 94.0, 2: 96.0, 4: 97.5},
+    "LOW": {1: 77.0, 2: 84.0, 4: 93.0},
+}

@@ -1,0 +1,71 @@
+"""ASCII line charts for the paper's figures (no plotting dependency).
+
+Renders a set of named series over a shared x axis as a monospace
+scatter/line chart, close enough to eyeball the shapes the paper plots.
+Used by ``examples/reproduce_paper.py`` output files and handy in a
+terminal: ``print(ascii_chart(...))``.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+#: glyphs assigned to series in order
+_GLYPHS = "*o+x#@%&"
+
+
+def ascii_chart(
+    xs: typing.Sequence[float],
+    series: typing.Mapping[str, typing.Sequence[float]],
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render ``series`` (name -> y values over ``xs``) as ASCII art.
+
+    NaN points are skipped.  The y axis starts at 0 (the paper's figures
+    all do); the x axis spans the data.
+    """
+    if not xs:
+        raise ValueError("need at least one x value")
+    if width < 16 or height < 4:
+        raise ValueError("chart too small to draw")
+    points: typing.List[typing.Tuple[float, float, str]] = []
+    for index, (name, ys) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, y in zip(xs, ys):
+            if y is None or (isinstance(y, float) and math.isnan(y)):
+                continue
+            points.append((float(x), float(y), glyph))
+    if not points:
+        raise ValueError("no plottable points")
+
+    x_lo, x_hi = min(xs), max(xs)
+    y_hi = max(p[1] for p in points)
+    if y_hi <= 0:
+        y_hi = 1.0
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, glyph in points:
+        column = int(round((x - x_lo) / x_span * (width - 1)))
+        row = int(round((1.0 - min(y, y_hi) / y_hi) * (height - 1)))
+        grid[row][column] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"[{legend}]")
+    top_label = f"{y_hi:.3g} {y_label}"
+    lines.append(top_label)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_lo:g}{' ' * max(1, width - len(f'{x_lo:g}') - len(f'{x_hi:g}'))}{x_hi:g}  ({x_label})")
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Plain-text rendering of result tables (paper-style reporting)."""
+
+from __future__ import annotations
+
+import math
+import typing
+
+Row = typing.Sequence[object]
+
+
+def format_cell(value: object, precision: int = 2) -> str:
+    """Render numbers compactly; NaN as '-'."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if math.isinf(value):
+            return "inf"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: typing.Sequence[str],
+    rows: typing.Iterable[Row],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Aligned monospace table with a separator under the header."""
+    rendered_rows = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    xs: typing.Sequence[object],
+    series: typing.Mapping[str, typing.Sequence[float]],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """A figure as a table: one x column, one column per curve."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        row: typing.List[object] = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[i] if i < len(values) else float("nan"))
+        rows.append(row)
+    return render_table(headers, rows, title=title, precision=precision)
+
+
+def to_csv(
+    headers: typing.Sequence[str], rows: typing.Iterable[Row]
+) -> str:
+    """Minimal CSV (no quoting needed for our numeric tables)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(format_cell(c, precision=6) for c in row))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run``         -- one simulation (scheduler, workload, rate, DD...).
+- ``schedulers``  -- list the registered schedulers.
+- ``experiments`` -- list the paper's tables/figures and how to run them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.analysis import render_table
+from repro.core.registry import available
+from repro.machine.config import MachineConfig
+from repro.sim.simulation import run_simulation
+from repro.txn.workload import (
+    experiment1_workload,
+    experiment2_workload,
+    experiment3_workload,
+)
+
+_EXPERIMENT_HELP = [
+    ("fig8", "arrival rate vs mean response time (Exp. 1, DD=1)"),
+    ("table2", "throughput at RT=70s vs NumFiles (Exp. 1, DD=1)"),
+    ("fig9", "throughput at RT=70s vs DD (Exp. 1)"),
+    ("table3", "response time at 1.2 TPS vs DD, incl. C2PL+M (Exp. 1)"),
+    ("fig10", "response-time speedup vs DD at 1.2 TPS (Exp. 1)"),
+    ("fig11", "speedup (DD=1 to 4) vs arrival rate (Exp. 1)"),
+    ("table4", "hot-set throughput and response time vs DD (Exp. 2)"),
+    ("fig12", "hot-set speedup vs DD at 1.2 TPS (Exp. 2)"),
+    ("fig13", "throughput at RT=70s vs declaration error (Exp. 3)"),
+    ("table5", "sensitivity degradation ratio (Exp. 3)"),
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Batch-transaction scheduling on a shared-nothing database "
+            "machine (Ohmori/Kitsuregawa/Tanaka, ICDE 1991)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one simulation")
+    run.add_argument("scheduler", help="e.g. LOW, GOW, ASL, C2PL, OPT, NODC")
+    run.add_argument("--workload", choices=("exp1", "exp2", "exp3"),
+                     default="exp1")
+    run.add_argument("--rate", type=float, default=1.0,
+                     help="arrival rate in TPS (default 1.0)")
+    run.add_argument("--dd", type=int, default=1,
+                     help="degree of declustering (default 1)")
+    run.add_argument("--num-files", type=int, default=16)
+    run.add_argument("--num-nodes", type=int, default=8)
+    run.add_argument("--mpl", type=int, default=None,
+                     help="multiprogramming level (default: infinite)")
+    run.add_argument("--sigma", type=float, default=1.0,
+                     help="declaration-error sigma for exp3 (default 1.0)")
+    run.add_argument("--duration", type=float, default=400_000,
+                     help="simulated ms (default 400000)")
+    run.add_argument("--warmup", type=float, default=50_000,
+                     help="warm-up ms discarded (default 50000)")
+    run.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("schedulers", help="list registered schedulers")
+    sub.add_parser("experiments", help="list the paper's tables/figures")
+    return parser
+
+
+def _make_workload(args: argparse.Namespace):
+    if args.workload == "exp1":
+        return experiment1_workload(args.rate, num_files=args.num_files)
+    if args.workload == "exp2":
+        return experiment2_workload(args.rate)
+    return experiment3_workload(args.rate, args.sigma,
+                                num_files=args.num_files)
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = MachineConfig(
+        num_nodes=args.num_nodes,
+        num_files=args.num_files,
+        dd=args.dd,
+        mpl=args.mpl,
+    )
+    result = run_simulation(
+        args.scheduler,
+        _make_workload(args),
+        config,
+        seed=args.seed,
+        duration_ms=args.duration,
+        warmup_ms=args.warmup,
+    )
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["scheduler", result.scheduler],
+            ["workload", args.workload],
+            ["arrival rate (TPS)", result.arrival_rate_tps],
+            ["DD", args.dd],
+            ["committed", result.completed],
+            ["throughput (TPS)", result.throughput_tps],
+            ["mean response (s)", result.mean_response_s],
+            ["p95 response (s)", result.p95_response_ms / 1000.0],
+            ["DPN utilisation", result.dpn_utilisation],
+            ["CN utilisation", result.cn_utilisation],
+            ["blocks", result.blocks],
+            ["delays", result.delays],
+            ["restarts", result.restarts],
+        ],
+        title="simulation result",
+    ))
+    return 0
+
+
+def _command_schedulers() -> int:
+    for name in available():
+        print(name)
+    return 0
+
+
+def _command_experiments() -> int:
+    print(render_table(
+        ["id", "regenerates"],
+        [[eid, description] for eid, description in _EXPERIMENT_HELP],
+        title="paper tables/figures (run: python examples/reproduce_paper.py"
+              " --only <id>)",
+    ))
+    return 0
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "schedulers":
+            return _command_schedulers()
+        return _command_experiments()
+    except BrokenPipeError:  # output piped into head etc.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,144 @@
+"""Serializability auditing of simulated histories.
+
+The auditor records every granted file access and every commit, builds
+the serialization graph over *committed* transactions (conflicting
+accesses to a common file ordered by time) and checks it is acyclic.
+The test suite runs it against every scheduler except NODC, which is
+intentionally non-serializable.
+
+For locking schedulers writes happen in place while the lock is held, so
+a write's timestamp is its scan time.  For optimistic execution writes
+live in a private workspace and only become visible at commit; construct
+the auditor with ``deferred_writes=True`` so write timestamps are the
+writer's commit time.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.txn.step import AccessMode
+
+
+class _Access(typing.NamedTuple):
+    txn_id: int
+    file_id: int
+    mode: AccessMode
+    time: float
+
+
+class SerializabilityAuditor:
+    """Collects a history and checks conflict-serializability."""
+
+    def __init__(self, deferred_writes: bool = False) -> None:
+        self.deferred_writes = deferred_writes
+        self._accesses: typing.List[_Access] = []
+        self._commit_times: typing.Dict[int, float] = {}
+
+    # -- recording ------------------------------------------------------------
+
+    def record_access(
+        self, txn_id: int, file_id: int, mode: AccessMode, time: float
+    ) -> None:
+        """One granted scan of a file."""
+        self._accesses.append(_Access(txn_id, file_id, mode, time))
+
+    def record_commit(self, txn_id: int, time: float) -> None:
+        """Transaction committed (aborted ones are simply never recorded)."""
+        if txn_id in self._commit_times:
+            raise ValueError(f"T{txn_id} committed twice")
+        self._commit_times[txn_id] = time
+
+    @property
+    def committed_count(self) -> int:
+        return len(self._commit_times)
+
+    # -- graph construction --------------------------------------------------------
+
+    def _effective_time(self, access: _Access) -> float:
+        if self.deferred_writes and access.mode.is_write:
+            return self._commit_times[access.txn_id]
+        return access.time
+
+    def serialization_graph(self) -> typing.Dict[int, typing.Set[int]]:
+        """Adjacency of the conflict graph over committed transactions.
+
+        Edge Ti -> Tj when they conflict on a file and Ti's (first
+        conflicting) access precedes Tj's.
+        """
+        committed = set(self._commit_times)
+        # first access per (txn, file, is_write) keeps the graph small
+        first: typing.Dict[
+            typing.Tuple[int, int, bool], _Access
+        ] = {}
+        for access in self._accesses:
+            if access.txn_id not in committed:
+                continue
+            key = (access.txn_id, access.file_id, access.mode.is_write)
+            if key not in first or access.time < first[key].time:
+                first[key] = access
+        by_file: typing.Dict[int, typing.List[_Access]] = {}
+        for access in first.values():
+            by_file.setdefault(access.file_id, []).append(access)
+
+        graph: typing.Dict[int, typing.Set[int]] = {
+            t: set() for t in committed
+        }
+        for accesses in by_file.values():
+            for i, a in enumerate(accesses):
+                for b in accesses[i + 1 :]:
+                    if a.txn_id == b.txn_id:
+                        continue
+                    if not a.mode.conflicts_with(b.mode):
+                        continue
+                    ta, tb = self._effective_time(a), self._effective_time(b)
+                    if ta < tb:
+                        graph[a.txn_id].add(b.txn_id)
+                    elif tb < ta:
+                        graph[b.txn_id].add(a.txn_id)
+                    else:  # simultaneous conflicting accesses: order by commit
+                        if (
+                            self._commit_times[a.txn_id]
+                            < self._commit_times[b.txn_id]
+                        ):
+                            graph[a.txn_id].add(b.txn_id)
+                        else:
+                            graph[b.txn_id].add(a.txn_id)
+        return graph
+
+    def is_serializable(self) -> bool:
+        """True when the serialization graph is acyclic."""
+        return self.find_cycle() is None
+
+    def find_cycle(self) -> typing.Optional[typing.List[int]]:
+        """A cycle of transaction ids, or None when serializable."""
+        graph = self.serialization_graph()
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {node: WHITE for node in graph}
+        parent: typing.Dict[int, int] = {}
+
+        def visit(node: int) -> typing.Optional[typing.List[int]]:
+            colour[node] = GREY
+            for nxt in graph[node]:
+                if colour[nxt] == GREY:
+                    cycle = [nxt, node]
+                    current = node
+                    while current != nxt:
+                        current = parent[current]
+                        cycle.append(current)
+                    cycle.reverse()
+                    return cycle
+                if colour[nxt] == WHITE:
+                    parent[nxt] = node
+                    found = visit(nxt)
+                    if found:
+                        return found
+            colour[node] = BLACK
+            return None
+
+        for node in graph:
+            if colour[node] == WHITE:
+                found = visit(node)
+                if found:
+                    return found
+        return None

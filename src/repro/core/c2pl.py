@@ -1,0 +1,60 @@
+"""C2PL: Cautious Two-Phase Locking (Nishio et al., ref. [12]).
+
+A variation of strict two-phase locking that never aborts: it keeps an
+(unweighted) transaction-precedence graph over the declared accesses and
+"grants a lock-request q if and only if q is not blocked and does not
+cause a deadlock" (Section 4.2).  A grant that would close a precedence
+cycle is *delayed* instead.
+
+Each evaluation pays ``ddtime`` (1 ms) of CN CPU for the deadlock test.
+
+``C2PL+M`` -- "the best C2PL to control multiprogramming level in order to
+avoid chains of blocking" -- is this same scheduler with a finite ``mpl``
+in the machine config; the experiment harness sweeps a small MPL set and
+reports the best, as the paper does.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.base import Decision, Scheduler, WTPGSchedulerMixin
+from repro.core.wtpg import WTPG
+from repro.txn.step import AccessMode
+from repro.txn.transaction import BatchTransaction
+
+
+class C2PLScheduler(WTPGSchedulerMixin, Scheduler):
+    """Cautious 2PL with WTPG-based deadlock prediction."""
+
+    name = "C2PL"
+    wtpg_propagate = False
+
+    def __init__(self, *args: typing.Any, **kwargs: typing.Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.wtpg = WTPG()
+
+    def _try_admit(self, txn: BatchTransaction) -> typing.Generator:
+        # C2PL admits unconditionally (MPL permitting); it only needs the
+        # transaction's declarations in its graph.
+        self._register_in_wtpg(txn)
+        return True
+        yield  # pragma: no cover - generator marker
+
+    def _try_acquire(
+        self, txn: BatchTransaction, file_id: int, mode: AccessMode
+    ) -> typing.Generator:
+        yield from self.control_node.consume(self.config.ddtime_ms, "cc-c2pl")
+        if not self.lock_table.is_compatible(file_id, mode):
+            return Decision.BLOCK
+        fixes = self.wtpg.fixes_for_grant(txn.txn_id, file_id)
+        if self.wtpg.creates_cycle(fixes):
+            return Decision.DELAY  # cautious: wait, never abort
+        self._grant_lock(txn, file_id, mode)
+        self.wtpg.grant(txn.txn_id, file_id, propagate=False)
+        return Decision.GRANT
+
+    def _on_commit(self, txn: BatchTransaction) -> typing.Generator:
+        self._deregister_from_wtpg(txn)
+        return
+        yield  # pragma: no cover - generator marker

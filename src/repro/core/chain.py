@@ -1,0 +1,450 @@
+"""Chain-form WTPGs and the optimal serializable order for GOW.
+
+GOW (Section 3.2) keeps the WTPG in *chain form*: the undirected conflict
+structure over general transactions is a disjoint union of simple paths.
+Under that restriction the full serializable order W minimising the
+critical path is computable in low polynomial time (the paper cites
+O(n^2) from ref. [13]).
+
+The algorithm here:
+
+1. Orienting the edges of a path graph never creates a directed cycle, so
+   every full orientation is serializable; the objective is purely the
+   critical path (the longest T0-to-Tf path).
+2. In an oriented path, directed paths are exactly the maximal
+   same-direction *runs*; the value of a run is the maximum over its start
+   nodes c of ``w0(c) + (sum of run-edge weights from c onward)``.
+3. Every achievable critical-path value is therefore the value of some
+   directed contiguous sub-path -- an O(n^2) candidate set.  We binary
+   search the candidates with an O(n * pareto) feasibility DP
+   ("is there an orientation whose every run value <= theta?") and then
+   reconstruct one optimal orientation greedily, edge by edge.
+
+Already-determined precedence edges participate as direction-constrained
+edges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+import typing
+
+from repro.core.wtpg import WTPG
+
+#: direction labels: an edge between positions i and i+1 is oriented
+#: RIGHT when node_i -> node_{i+1}, LEFT when node_{i+1} -> node_i.
+RIGHT = "right"
+LEFT = "left"
+
+
+@dataclasses.dataclass(frozen=True)
+class ChainEdge:
+    """One edge of a chain component, in path position order."""
+
+    left_node: int
+    right_node: int
+    weight_right: float  # weight when oriented left_node -> right_node
+    weight_left: float  # weight when oriented right_node -> left_node
+    allowed: typing.FrozenSet[str]  # subset of {RIGHT, LEFT}
+
+    def __post_init__(self) -> None:
+        if not self.allowed:
+            raise ValueError("edge must allow at least one direction")
+        if not self.allowed <= {RIGHT, LEFT}:
+            raise ValueError(f"bad direction set {self.allowed!r}")
+
+
+@dataclasses.dataclass
+class ChainComponent:
+    """A maximal path of the conflict structure: nodes and edges in order."""
+
+    nodes: typing.List[int]
+    node_weights: typing.List[float]  # w0 (T0-edge weight) per node
+    edges: typing.List[ChainEdge]
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != len(self.node_weights):
+            raise ValueError("one weight per node required")
+        if len(self.edges) != max(0, len(self.nodes) - 1):
+            raise ValueError("a path of k nodes has k-1 edges")
+
+
+class NotChainFormError(ValueError):
+    """The conflict structure is not a disjoint union of simple paths."""
+
+
+# -- chain-form testing ---------------------------------------------------------
+
+
+def undirected_adjacency(wtpg: WTPG) -> typing.Dict[int, typing.Set[int]]:
+    """Conflict + precedence adjacency over general transactions."""
+    return {t: wtpg.neighbors(t) for t in wtpg.txn_ids}
+
+
+def is_union_of_paths(adjacency: typing.Mapping[int, typing.Set[int]]) -> bool:
+    """True when every component is a simple path (degree <= 2, acyclic)."""
+    if any(len(neigh) > 2 for neigh in adjacency.values()):
+        return False
+    # Acyclicity of an undirected graph: every component has
+    # (#edges == #nodes - 1); with degrees <= 2 that means a path.
+    seen: typing.Set[int] = set()
+    for start in adjacency:
+        if start in seen:
+            continue
+        nodes: typing.Set[int] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node in nodes:
+                continue
+            nodes.add(node)
+            stack.extend(adjacency[node] - nodes)
+        seen |= nodes
+        edge_count = sum(len(adjacency[n] & nodes) for n in nodes) // 2
+        if edge_count != len(nodes) - 1:
+            return False
+    return True
+
+
+def keeps_chain_form(
+    wtpg: WTPG, new_txn: "typing.Any"
+) -> bool:
+    """GOW Phase 0: would admitting ``new_txn`` keep the WTPG a chain?
+
+    ``new_txn`` is a BatchTransaction not yet in the graph.
+    """
+    adjacency = undirected_adjacency(wtpg)
+    new_neighbors = {
+        other_id
+        for other_id in wtpg.txn_ids
+        if new_txn.conflicts_with(wtpg.transaction(other_id))
+    }
+    adjacency[new_txn.txn_id] = set(new_neighbors)
+    for other_id in new_neighbors:
+        adjacency[other_id] = adjacency[other_id] | {new_txn.txn_id}
+    return is_union_of_paths(adjacency)
+
+
+def extract_components(wtpg: WTPG) -> typing.List[ChainComponent]:
+    """Split a chain-form WTPG into ordered path components.
+
+    Raises :class:`NotChainFormError` when the structure is not a union
+    of paths.
+    """
+    adjacency = undirected_adjacency(wtpg)
+    if not is_union_of_paths(adjacency):
+        raise NotChainFormError(f"WTPG is not chain-form: {wtpg!r}")
+    components: typing.List[ChainComponent] = []
+    visited: typing.Set[int] = set()
+    for start in sorted(adjacency):
+        if start in visited:
+            continue
+        # walk to one end of the path
+        end = start
+        previous = None
+        while True:
+            nxt = [n for n in sorted(adjacency[end]) if n != previous]
+            if not nxt:
+                break
+            previous, end = end, nxt[0]
+            if end == start:  # defensive; cycles were excluded above
+                raise NotChainFormError("cycle found during extraction")
+        # walk the path from the end, recording order
+        ordered = [end]
+        visited.add(end)
+        current, previous = end, None
+        while True:
+            nxt = [n for n in sorted(adjacency[current]) if n != previous]
+            if not nxt:
+                break
+            previous, current = current, nxt[0]
+            ordered.append(current)
+            visited.add(current)
+        components.append(_build_component(wtpg, ordered))
+    return components
+
+
+def _build_component(
+    wtpg: WTPG, ordered: typing.List[int]
+) -> ChainComponent:
+    edges = []
+    for left, right in zip(ordered, ordered[1:]):
+        if wtpg.has_precedence(left, right):
+            weight = wtpg.precedence_edges()[(left, right)]
+            edges.append(
+                ChainEdge(left, right, weight, math.nan, frozenset({RIGHT}))
+            )
+        elif wtpg.has_precedence(right, left):
+            weight = wtpg.precedence_edges()[(right, left)]
+            edges.append(
+                ChainEdge(left, right, math.nan, weight, frozenset({LEFT}))
+            )
+        else:
+            conflict = wtpg.conflict_edge(left, right)
+            edges.append(
+                ChainEdge(
+                    left,
+                    right,
+                    conflict.weight(left, right),
+                    conflict.weight(right, left),
+                    frozenset({RIGHT, LEFT}),
+                )
+            )
+    return ChainComponent(
+        nodes=ordered,
+        node_weights=[wtpg.t0_weight(t) for t in ordered],
+        edges=edges,
+    )
+
+
+# -- optimal orientation of one component ---------------------------------------
+
+
+def _candidate_values(component: ChainComponent) -> typing.List[float]:
+    """All possible run values: directed contiguous sub-path lengths."""
+    w0 = component.node_weights
+    k = len(component.nodes)
+    candidates = set(w0)
+    # rightward: start c, over edges c..d-1
+    for c in range(k):
+        total = w0[c]
+        for d in range(c, k - 1):
+            weight = component.edges[d].weight_right
+            if math.isnan(weight):
+                break  # direction not allowed; longer right paths impossible
+            total += weight
+            candidates.add(total)
+    # leftward: start c, descending over edges c-1..d
+    for c in range(k - 1, -1, -1):
+        total = w0[c]
+        for d in range(c - 1, -1, -1):
+            weight = component.edges[d].weight_left
+            if math.isnan(weight):
+                break
+            total += weight
+            candidates.add(total)
+    return sorted(candidates)
+
+
+def _pareto_reduce(
+    states: typing.List[typing.Tuple[float, float]]
+) -> typing.List[typing.Tuple[float, float]]:
+    """Keep the non-dominated (cum, m) pairs (both coordinates minimal)."""
+    states.sort()
+    frontier: typing.List[typing.Tuple[float, float]] = []
+    best_m = math.inf
+    for cum, m in states:
+        if m < best_m - 1e-12:
+            frontier.append((cum, m))
+            best_m = m
+    return frontier
+
+
+def _feasible(
+    component: ChainComponent,
+    theta: float,
+    forced: typing.Optional[typing.Mapping[int, str]] = None,
+) -> bool:
+    """Is there an orientation with every run value <= theta?
+
+    ``forced`` maps edge index -> direction, narrowing the allowed set
+    (used during reconstruction).
+    """
+    eps = 1e-9
+    w0 = component.node_weights
+    k = len(component.nodes)
+    if k == 1:
+        return w0[0] <= theta + eps
+    forced = forced or {}
+
+    def allowed(i: int) -> typing.FrozenSet[str]:
+        if i in forced:
+            direction = forced[i]
+            if direction not in component.edges[i].allowed:
+                return frozenset()
+            return frozenset({direction})
+        return component.edges[i].allowed
+
+    right_state: typing.Optional[float] = None  # minimal h for an open R run
+    left_states: typing.List[typing.Tuple[float, float]] = []  # (cum, m)
+
+    # edge 0
+    directions = allowed(0)
+    if RIGHT in directions:
+        edge = component.edges[0]
+        h = max(w0[0] + edge.weight_right, w0[1])
+        if h <= theta + eps:
+            right_state = h
+    if LEFT in directions:
+        edge = component.edges[0]
+        cum = edge.weight_left
+        m = max(w0[0], w0[1] + cum)
+        if m <= theta + eps:
+            left_states = [(cum, m)]
+    if right_state is None and not left_states:
+        return False
+
+    for i in range(1, k - 1):
+        edge = component.edges[i]
+        directions = allowed(i)
+        new_right: typing.Optional[float] = None
+        new_left: typing.List[typing.Tuple[float, float]] = []
+        node_w = w0[i + 1]
+        if RIGHT in directions:
+            options = []
+            if right_state is not None:  # continue the R run
+                options.append(max(right_state + edge.weight_right, node_w))
+            if left_states:  # close an L run (already <= theta), open R
+                options.append(max(w0[i] + edge.weight_right, node_w))
+            finite = [h for h in options if h <= theta + eps]
+            if finite:
+                new_right = min(finite)
+        if LEFT in directions:
+            for cum, m in left_states:  # continue the L run
+                cum2 = cum + edge.weight_left
+                m2 = max(m, node_w + cum2)
+                if m2 <= theta + eps:
+                    new_left.append((cum2, m2))
+            if right_state is not None:  # close the R run, open L
+                cum2 = edge.weight_left
+                m2 = max(w0[i], node_w + cum2)
+                if m2 <= theta + eps:
+                    new_left.append((cum2, m2))
+            new_left = _pareto_reduce(new_left)
+        right_state, left_states = new_right, new_left
+        if right_state is None and not left_states:
+            return False
+    return True
+
+
+def solve_component(
+    component: ChainComponent,
+) -> typing.Tuple[float, typing.List[str]]:
+    """Optimal critical-path value and one achieving orientation.
+
+    Returns ``(value, directions)`` with one direction (RIGHT/LEFT) per
+    edge.  For a single-node component the direction list is empty.
+    """
+    if len(component.nodes) == 1:
+        return component.node_weights[0], []
+    candidates = _candidate_values(component)
+    lo, hi = 0, len(candidates) - 1
+    if not _feasible(component, candidates[hi]):
+        raise RuntimeError(
+            "no feasible orientation at the maximal candidate -- "
+            "this should be impossible for a path"
+        )
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _feasible(component, candidates[mid]):
+            hi = mid
+        else:
+            lo = mid + 1
+    theta = candidates[lo]
+
+    # Greedy reconstruction: force each edge RIGHT if feasible, else LEFT.
+    forced: typing.Dict[int, str] = {}
+    for i in range(len(component.edges)):
+        edge_allowed = component.edges[i].allowed
+        if len(edge_allowed) == 1:
+            forced[i] = next(iter(edge_allowed))
+            continue
+        forced[i] = RIGHT
+        if not _feasible(component, theta, forced):
+            forced[i] = LEFT
+    assert _feasible(component, theta, forced), "reconstruction failed"
+    return theta, [forced[i] for i in range(len(component.edges))]
+
+
+def brute_force_component(
+    component: ChainComponent,
+) -> typing.Tuple[float, typing.List[str]]:
+    """Exponential reference solver (tests and tiny components only)."""
+    best_value = math.inf
+    best_dirs: typing.List[str] = []
+    edge_choices = [sorted(edge.allowed) for edge in component.edges]
+    for directions in itertools.product(*edge_choices):
+        value = _orientation_value(component, list(directions))
+        if value < best_value:
+            best_value = value
+            best_dirs = list(directions)
+    return best_value, best_dirs
+
+
+def _orientation_value(
+    component: ChainComponent, directions: typing.List[str]
+) -> float:
+    """Critical-path value of a fully-oriented component."""
+    w0 = component.node_weights
+    k = len(component.nodes)
+    best = max(w0)
+    # longest directed path ending at each node, scanning both directions
+    dist_right = list(w0)  # longest path ending at i arriving rightward
+    for i, direction in enumerate(directions):
+        if direction == RIGHT:
+            weight = component.edges[i].weight_right
+            dist_right[i + 1] = max(
+                w0[i + 1], dist_right[i] + weight
+            )
+            best = max(best, dist_right[i + 1])
+    dist_left = list(w0)
+    for i in range(k - 2, -1, -1):
+        if directions[i] == LEFT:
+            weight = component.edges[i].weight_left
+            dist_left[i] = max(w0[i], dist_left[i + 1] + weight)
+            best = max(best, dist_left[i])
+    return best
+
+
+# -- the full serializable order W ------------------------------------------------
+
+
+class SerializableOrder:
+    """W: an orientation for every edge of a chain-form WTPG."""
+
+    def __init__(
+        self,
+        orientations: typing.Mapping[typing.FrozenSet[int], typing.Tuple[int, int]],
+        critical_path: float,
+    ) -> None:
+        self._orientations = dict(orientations)
+        self.critical_path = critical_path
+
+    def direction(self, i: int, j: int) -> typing.Tuple[int, int]:
+        """The (src, dst) W assigns to the edge between i and j."""
+        return self._orientations[frozenset((i, j))]
+
+    def consistent_with_fix(self, i: int, j: int) -> bool:
+        """Would fixing precedence i -> j agree with W?
+
+        Pairs W never saw (no edge between them) are vacuously
+        consistent.
+        """
+        key = frozenset((i, j))
+        if key not in self._orientations:
+            return True
+        return self._orientations[key] == (i, j)
+
+
+def compute_optimal_order(wtpg: WTPG) -> SerializableOrder:
+    """GOW Phase 2: the full serializable order minimising the critical path.
+
+    Components are independent: the global critical path is the max over
+    components, each minimised separately.
+    """
+    orientations: typing.Dict[
+        typing.FrozenSet[int], typing.Tuple[int, int]
+    ] = {}
+    worst = 0.0
+    for component in extract_components(wtpg):
+        value, directions = solve_component(component)
+        worst = max(worst, value)
+        for edge, direction in zip(component.edges, directions):
+            pair = frozenset((edge.left_node, edge.right_node))
+            if direction == RIGHT:
+                orientations[pair] = (edge.left_node, edge.right_node)
+            else:
+                orientations[pair] = (edge.right_node, edge.left_node)
+    return SerializableOrder(orientations, worst)

@@ -1,0 +1,73 @@
+"""GOW: the Globally-Optimized WTPG scheduler (Section 3.2, Figs. 3-4).
+
+GOW plans globally: it computes the full serializable order W that makes
+the *shortest critical path* in the current WTPG and only grants lock
+requests whose precedence consequences are consistent with W.
+
+Finding W is NP-hard in general, so GOW restricts the WTPG to *chain
+form* (every general transaction conflicts only with its neighbours in a
+path); the start of a transaction that would break the chain is aborted
+and re-submitted later (Phase 0).  Within a chain W is computed in low
+polynomial time (:mod:`repro.core.chain`).
+
+CPU costs (Table 1): ``toptime`` (5 ms) per chain-form test, ``chaintime``
+(30 ms) per W computation.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.base import Decision, Scheduler, WTPGSchedulerMixin
+from repro.core.chain import compute_optimal_order, keeps_chain_form
+from repro.core.wtpg import WTPG
+from repro.txn.step import AccessMode
+from repro.txn.transaction import BatchTransaction
+
+
+class GOWScheduler(WTPGSchedulerMixin, Scheduler):
+    """Chain-form WTPG scheduler with globally-optimised serialization."""
+
+    name = "GOW"
+
+    def __init__(self, *args: typing.Any, **kwargs: typing.Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.wtpg = WTPG()
+
+    # -- Phase 0: chain-form admission -------------------------------------------
+
+    def _try_admit(self, txn: BatchTransaction) -> typing.Generator:
+        yield from self.control_node.consume(self.config.toptime_ms, "cc-gow")
+        if not keeps_chain_form(self.wtpg, txn):
+            return False  # start aborted; re-submitted after some delay
+        self._register_in_wtpg(txn)
+        return True
+
+    # -- Phases 1-4: Fig. 4 ---------------------------------------------------------
+
+    def _try_acquire(
+        self, txn: BatchTransaction, file_id: int, mode: AccessMode
+    ) -> typing.Generator:
+        # Phase 1: blocked by a held lock?
+        if not self.lock_table.is_compatible(file_id, mode):
+            return Decision.BLOCK
+        # Phase 2: compute the optimal full serializable order W.  The
+        # decision after the CPU wait is atomic; the lock may have been
+        # taken while we computed, so re-check Phase 1.
+        yield from self.control_node.consume(self.config.chaintime_ms, "cc-gow")
+        if not self.lock_table.is_compatible(file_id, mode):
+            return Decision.BLOCK
+        order = compute_optimal_order(self.wtpg)
+        # Phase 3: delay q if its precedence consequences contradict W.
+        fixes = self.wtpg.fixes_for_grant(txn.txn_id, file_id)
+        if any(not order.consistent_with_fix(i, j) for i, j in fixes):
+            return Decision.DELAY
+        # Granted; Phase 4 replaces newly determined conflict edges.
+        self._grant_lock(txn, file_id, mode)
+        self.wtpg.grant(txn.txn_id, file_id)
+        return Decision.GRANT
+
+    def _on_commit(self, txn: BatchTransaction) -> typing.Generator:
+        self._deregister_from_wtpg(txn)
+        return
+        yield  # pragma: no cover - generator marker

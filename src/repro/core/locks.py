@@ -1,0 +1,121 @@
+"""File-granule lock table.
+
+Mechanism only: the table tracks which transactions hold which files in
+which mode and answers compatibility questions.  *Policy* -- whether a
+compatible request should nevertheless be delayed -- lives in the
+schedulers.
+
+Because every transaction requests the strongest mode it will ever need on
+a file at its first touch (Section 2 / Experiment 1 of the paper), lock
+upgrades never occur and the table rejects them.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.txn.step import AccessMode
+
+
+class LockError(RuntimeError):
+    """An illegal lock-table operation (double grant, missing release...)."""
+
+
+class FileLock:
+    """Lock state of one file: its holders and their (common) mode."""
+
+    __slots__ = ("file_id", "mode", "holders")
+
+    def __init__(self, file_id: int) -> None:
+        self.file_id = file_id
+        self.mode: typing.Optional[AccessMode] = None
+        self.holders: typing.Set[int] = set()
+
+    @property
+    def is_free(self) -> bool:
+        return not self.holders
+
+    def compatible(self, mode: AccessMode) -> bool:
+        """Can a new holder in ``mode`` coexist with current holders?"""
+        if self.is_free:
+            return True
+        assert self.mode is not None
+        return not self.mode.conflicts_with(mode)
+
+    def __repr__(self) -> str:
+        mode = self.mode.value if self.mode else "-"
+        return f"<FileLock F{self.file_id} {mode} held_by={sorted(self.holders)}>"
+
+
+class LockTable:
+    """All file locks of the control node (file-level granules only)."""
+
+    def __init__(self, num_files: int) -> None:
+        if num_files < 1:
+            raise ValueError(f"num_files must be >= 1, got {num_files}")
+        self.num_files = num_files
+        self._locks = [FileLock(f) for f in range(num_files)]
+
+    def _lock(self, file_id: int) -> FileLock:
+        if not 0 <= file_id < self.num_files:
+            raise ValueError(f"file {file_id} out of range")
+        return self._locks[file_id]
+
+    # -- queries --------------------------------------------------------------
+
+    def is_compatible(self, file_id: int, mode: AccessMode) -> bool:
+        """Would granting (file, mode) conflict with current holders?"""
+        return self._lock(file_id).compatible(mode)
+
+    def holders(self, file_id: int) -> typing.Set[int]:
+        """Transaction ids currently holding the file."""
+        return set(self._lock(file_id).holders)
+
+    def mode_of(self, file_id: int) -> typing.Optional[AccessMode]:
+        """Mode the file is held in, or None when free."""
+        return self._lock(file_id).mode
+
+    def holds(self, txn_id: int, file_id: int) -> bool:
+        return txn_id in self._lock(file_id).holders
+
+    def files_held_by(self, txn_id: int) -> typing.List[int]:
+        """All files the transaction holds (any mode)."""
+        return [
+            lock.file_id for lock in self._locks if txn_id in lock.holders
+        ]
+
+    # -- mutations --------------------------------------------------------------
+
+    def grant(self, txn_id: int, file_id: int, mode: AccessMode) -> None:
+        """Record the grant; callers must have checked compatibility."""
+        lock = self._lock(file_id)
+        if txn_id in lock.holders:
+            raise LockError(
+                f"T{txn_id} already holds F{file_id}; upgrades are not modelled"
+            )
+        if not lock.compatible(mode):
+            raise LockError(
+                f"incompatible grant of F{file_id}:{mode} to T{txn_id} "
+                f"(held {lock.mode} by {sorted(lock.holders)})"
+            )
+        if lock.is_free:
+            lock.mode = mode
+        elif mode.is_write:  # pragma: no cover - excluded by compatible()
+            raise LockError("X grant on a held lock")
+        lock.holders.add(txn_id)
+
+    def release(self, txn_id: int, file_id: int) -> None:
+        """Release one file held by ``txn_id``."""
+        lock = self._lock(file_id)
+        if txn_id not in lock.holders:
+            raise LockError(f"T{txn_id} does not hold F{file_id}")
+        lock.holders.remove(txn_id)
+        if lock.is_free:
+            lock.mode = None
+
+    def release_all(self, txn_id: int) -> typing.List[int]:
+        """Release every file held by ``txn_id``; returns the files freed."""
+        released = self.files_held_by(txn_id)
+        for file_id in released:
+            self.release(txn_id, file_id)
+        return released

@@ -1,0 +1,90 @@
+"""LOW-LB: resource-aware LOW (the paper's stated further work).
+
+The conclusion of the paper suggests improving the WTPG schedulers "for
+resource-level load-balancing on Shared-Nothing database machines".
+This extension implements the most direct reading: the WTPG's T0-edge
+weight -- a transaction's remaining *declared* I/O -- is inflated by the
+scan backlog already queued on the data-processing nodes that will serve
+the transaction's current step:
+
+    w0'(Ti) = remaining_cost(Ti) + rho * mean_backlog(nodes of Ti's step)
+
+E(q) then measures contention in *time-to-drain* rather than raw I/O
+demand, so a contended lock preferentially goes to a transaction whose
+work lands on idle nodes.  With ``rho = 0`` LOW-LB degenerates to LOW
+exactly.
+
+The scheduler needs sight of the machine's DPNs; the simulation binds it
+after construction via :meth:`bind_machine`.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.low import LOWScheduler
+from repro.core.wtpg import WTPG
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.machine import SharedNothingMachine
+
+
+class ResourceAwareWTPG(WTPG):
+    """WTPG whose T0 weights include current DPN scan backlog."""
+
+    def __init__(
+        self,
+        node_backlog: typing.Callable[[int], float],
+        nodes_for_file: typing.Callable[[int], typing.List[int]],
+        rho: float = 1.0,
+    ) -> None:
+        super().__init__()
+        if rho < 0:
+            raise ValueError(f"rho must be >= 0, got {rho}")
+        self._node_backlog = node_backlog
+        self._nodes_for_file = nodes_for_file
+        self._rho = rho
+
+    def t0_weight(self, txn_id: int) -> float:
+        base = super().t0_weight(txn_id)
+        if self._rho == 0.0:
+            return base
+        txn = self.transaction(txn_id)
+        if txn.finished_all_steps:
+            return base
+        nodes = self._nodes_for_file(txn.current_step.file_id)
+        if not nodes:
+            return base
+        backlog = sum(self._node_backlog(n) for n in nodes) / len(nodes)
+        return base + self._rho * backlog
+
+
+class LOWLBScheduler(LOWScheduler):
+    """LOW with resource-level load balancing in its E() estimates."""
+
+    name = "LOW-LB"
+
+    def __init__(
+        self, *args: typing.Any, rho: float = 1.0, **kwargs: typing.Any
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.rho = rho
+        self._machine: typing.Optional["SharedNothingMachine"] = None
+        self.wtpg = ResourceAwareWTPG(
+            self._backlog_of_node, self._nodes_of_file, rho=rho
+        )
+
+    def bind_machine(self, machine: "SharedNothingMachine") -> None:
+        """Give the scheduler sight of the DPN queues (simulation calls
+        this right after construction)."""
+        self._machine = machine
+
+    def _backlog_of_node(self, node_id: int) -> float:
+        if self._machine is None:
+            return 0.0
+        return self._machine.data_nodes[node_id].backlog_objects
+
+    def _nodes_of_file(self, file_id: int) -> typing.List[int]:
+        if self._machine is None:
+            return []
+        return self._machine.placement.nodes_for(file_id)

@@ -1,0 +1,37 @@
+"""NODC: the no-data-contention upper bound.
+
+"NODC grants any lock at any time so that it shows upper bound of
+performance" (Section 4.2).  There is no lock table interaction at all --
+transactions only ever contend for machine resources (DPN bandwidth and
+the CN CPU).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.base import Decision, Scheduler
+from repro.txn.step import AccessMode
+from repro.txn.transaction import BatchTransaction
+
+
+class NODCScheduler(Scheduler):
+    """Upper bound: no concurrency control whatsoever."""
+
+    name = "NODC"
+
+    def _try_admit(self, txn: BatchTransaction) -> typing.Generator:
+        return True
+        yield  # pragma: no cover - generator marker
+
+    def _try_acquire(
+        self, txn: BatchTransaction, file_id: int, mode: AccessMode
+    ) -> typing.Generator:
+        return Decision.GRANT
+        yield  # pragma: no cover - generator marker
+
+    def acquire(self, txn: BatchTransaction, file_id: int) -> typing.Generator:
+        """Skip the lock table entirely -- any access is always allowed."""
+        self.stats.grants.increment()
+        return
+        yield  # pragma: no cover - generator marker

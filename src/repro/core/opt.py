@@ -1,0 +1,98 @@
+"""OPT: optimistic locking (Kung & Robinson, ref. [11]).
+
+Transactions execute without any locks and are certified at commit by
+backward validation: T fails when some transaction that committed during
+T's lifetime wrote a file T read or wrote.  A failed transaction is
+aborted and restarted from scratch -- the only scheduler in the study with
+rollback, and the reason it saturates resources under contention
+(Section 5.1.3, observation #2).
+
+Table 1 gives no CPU cost for validation, so it is free on the CN by
+default (``opt_validate_cost_ms`` overrides for ablations).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.base import Decision, Scheduler
+from repro.txn.step import AccessMode
+from repro.txn.transaction import BatchTransaction
+
+
+class _CommitRecord(typing.NamedTuple):
+    commit_time: float
+    write_set: typing.FrozenSet[int]
+
+
+class OPTScheduler(Scheduler):
+    """Optimistic concurrency control with backward validation."""
+
+    name = "OPT"
+
+    def __init__(
+        self,
+        *args: typing.Any,
+        opt_validate_cost_ms: float = 0.0,
+        **kwargs: typing.Any,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.opt_validate_cost_ms = opt_validate_cost_ms
+        self._commit_log: typing.List[_CommitRecord] = []
+        self._start_times: typing.Dict[int, float] = {}
+
+    def _try_admit(self, txn: BatchTransaction) -> typing.Generator:
+        self._start_times[txn.txn_id] = self.env.now
+        return True
+        yield  # pragma: no cover - generator marker
+
+    def _try_acquire(
+        self, txn: BatchTransaction, file_id: int, mode: AccessMode
+    ) -> typing.Generator:
+        return Decision.GRANT
+        yield  # pragma: no cover - generator marker
+
+    def acquire(self, txn: BatchTransaction, file_id: int) -> typing.Generator:
+        """No locks: every access proceeds immediately."""
+        self.stats.grants.increment()
+        return
+        yield  # pragma: no cover - generator marker
+
+    def validate_at_commit(self, txn: BatchTransaction) -> bool:
+        """Backward validation against transactions committed meanwhile."""
+        start = self._start_times.get(txn.txn_id)
+        if start is None:
+            raise RuntimeError(f"T{txn.txn_id} was never admitted")
+        touched = txn.read_set | txn.write_set
+        return not any(
+            record.commit_time > start and record.write_set & touched
+            for record in self._commit_log
+        )
+
+    def _on_commit(self, txn: BatchTransaction) -> typing.Generator:
+        if self.opt_validate_cost_ms:
+            yield from self.control_node.consume(
+                self.opt_validate_cost_ms, "cc-opt"
+            )
+        self._commit_log.append(
+            _CommitRecord(self.env.now, frozenset(txn.write_set))
+        )
+        self._start_times.pop(txn.txn_id, None)
+        self._prune_commit_log()
+        return
+
+    def _on_abort(self, txn: BatchTransaction) -> typing.Generator:
+        self._start_times.pop(txn.txn_id, None)
+        self._prune_commit_log()
+        return
+        yield  # pragma: no cover - generator marker
+
+    def _prune_commit_log(self) -> None:
+        """Drop records no active transaction could conflict with."""
+        if not self._start_times:
+            self._commit_log.clear()
+            return
+        oldest = min(self._start_times.values())
+        self._commit_log = [
+            r for r in self._commit_log if r.commit_time > oldest
+        ]

@@ -1,0 +1,81 @@
+"""Scheduler registry: name -> factory.
+
+The six schedulers of the paper (plus the C2PL+M alias and parameterised
+LOW variants) are constructed through this registry so experiments and
+benchmarks can sweep them by name.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.asl import ASLScheduler
+from repro.core.base import Scheduler
+from repro.core.c2pl import C2PLScheduler
+from repro.core.gow import GOWScheduler
+from repro.core.low import LOWScheduler
+from repro.core.lowlb import LOWLBScheduler
+from repro.core.nodc import NODCScheduler
+from repro.core.opt import OPTScheduler
+from repro.core.twopl import TwoPLScheduler
+from repro.des import Environment
+from repro.machine.config import MachineConfig
+from repro.machine.control_node import ControlNode
+
+SchedulerFactory = typing.Callable[
+    [Environment, MachineConfig, ControlNode], Scheduler
+]
+
+#: names in the paper's reporting order
+PAPER_SCHEDULERS = ("NODC", "ASL", "GOW", "LOW", "C2PL", "OPT")
+
+_FACTORIES: typing.Dict[str, SchedulerFactory] = {}
+
+
+def register(name: str, factory: SchedulerFactory) -> None:
+    """Add (or replace) a named scheduler factory."""
+    _FACTORIES[name.upper()] = factory
+
+
+def available() -> typing.List[str]:
+    """All registered scheduler names."""
+    return sorted(_FACTORIES)
+
+
+def create(
+    name: str,
+    env: Environment,
+    config: MachineConfig,
+    control_node: ControlNode,
+) -> Scheduler:
+    """Instantiate the scheduler registered under ``name``.
+
+    ``LOW(K=n)`` is accepted for arbitrary K, e.g. ``LOW(K=1)``.
+    """
+    key = name.upper().replace(" ", "")
+    if key.startswith("LOW(K=") and key.endswith(")"):
+        k = int(key[len("LOW(K=") : -1])
+        scheduler = LOWScheduler(env, config, control_node, k=k)
+        scheduler.name = f"LOW(K={k})"
+        return scheduler
+    if key not in _FACTORIES:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {available()}"
+        )
+    return _FACTORIES[key](env, config, control_node)
+
+
+register("NODC", NODCScheduler)
+register("ASL", ASLScheduler)
+register("GOW", GOWScheduler)
+register("LOW", lambda env, cfg, cn: LOWScheduler(env, cfg, cn, k=2))
+register("C2PL", C2PLScheduler)
+# C2PL+M is C2PL run under a finite MPL; the harness picks the MPL.
+register("C2PL+M", C2PLScheduler)
+register("OPT", OPTScheduler)
+# Plain strict 2PL (deadlock detection + youngest-victim restart): the
+# baseline the paper dismisses up front; included for ablations.
+register("2PL", TwoPLScheduler)
+# Resource-aware LOW (the paper's "further work"): E() weights include
+# current DPN scan backlog.
+register("LOW-LB", lambda env, cfg, cn: LOWLBScheduler(env, cfg, cn, k=2))

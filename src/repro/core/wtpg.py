@@ -1,0 +1,512 @@
+"""The Weighted Transaction-Precedence Graph (WTPG) of Section 3.1.
+
+Nodes are the active (declared, uncommitted) transactions plus the virtual
+initial transaction T0 (and conceptually the final Tf, whose edges all
+weigh 0 and are never materialised, as in the paper).
+
+Edges between two general transactions Ti, Tj that declared conflicting
+accesses start as an undirected *conflict edge* (Ti, Tj).  When the
+serializable order between them becomes determined the conflict edge is
+replaced by a directed *precedence edge* Ti -> Tj.
+
+Weights (fixed at declaration time, per the paper):
+
+- ``w(Ti -> Tj)``: the I/O Tj must still access from its first step that
+  conflicts with Ti through its commitment -- the remaining work of Tj
+  once Ti stops blocking it.
+- ``w(T0 -> Ti)``: Ti's remaining declared I/O *now*; this is the only
+  weight that is adjusted as the schedule proceeds, so it is computed on
+  demand from the transaction's live progress.
+
+The critical path is the longest T0-to-Tf path over precedence edges.
+
+Scale notes.  Under overload an MPL-unlimited scheduler (plain C2PL in
+Fig. 8's unstable region) accumulates thousands of active transactions,
+so this structure maintains everything incrementally:
+
+- per-file reader/writer indexes make conflict discovery at declaration
+  O(conflicting pairs) instead of O(all pairs);
+- successor/predecessor adjacency is maintained, never rebuilt;
+- every node carries a *topological level* with the invariant
+  ``level(u) < level(v)`` for each precedence edge u -> v, so cycle and
+  path queries prune to the (usually tiny) level window between the two
+  endpoints -- the classic incremental-cycle-detection bound.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from repro.txn.transaction import BatchTransaction
+
+
+class ConflictEdge(typing.NamedTuple):
+    """Undetermined serialization order between two transactions.
+
+    ``weight_ab`` is the weight the edge would carry if oriented a -> b
+    (and symmetrically for ``weight_ba``); both are fixed when the later
+    transaction declares itself.
+    """
+
+    a: int
+    b: int
+    weight_ab: float
+    weight_ba: float
+
+    def weight(self, src: int, dst: int) -> float:
+        if (src, dst) == (self.a, self.b):
+            return self.weight_ab
+        if (src, dst) == (self.b, self.a):
+            return self.weight_ba
+        raise KeyError(f"edge ({self.a},{self.b}) asked for ({src},{dst})")
+
+
+class WTPG:
+    """Weighted transaction-precedence graph over active transactions."""
+
+    def __init__(self) -> None:
+        self._txns: typing.Dict[int, BatchTransaction] = {}
+        #: undetermined edges keyed by frozenset({i, j}); weights are
+        #: computed lazily (None until first read) -- C2PL never reads
+        #: them, and eager computation is O(pairs) per declaration
+        self._conflicts: typing.Dict[
+            typing.FrozenSet[int], typing.Optional[ConflictEdge]
+        ] = {}
+        #: determined edges (i, j) -> weight of i -> j
+        self._precedence: typing.Dict[typing.Tuple[int, int], float] = {}
+        #: maintained adjacency over precedence edges
+        self._succ: typing.Dict[int, typing.Set[int]] = {}
+        self._pred: typing.Dict[int, typing.Set[int]] = {}
+        #: maintained adjacency over conflict edges
+        self._conflict_adj: typing.Dict[int, typing.Set[int]] = {}
+        #: per-file declared readers/writers (conflict discovery index)
+        self._readers: typing.Dict[int, typing.Set[int]] = {}
+        self._writers: typing.Dict[int, typing.Set[int]] = {}
+        #: topological level: level(u) < level(v) for every edge u -> v
+        self._level: typing.Dict[int, int] = {}
+
+    # -- membership ------------------------------------------------------------
+
+    def __contains__(self, txn_id: int) -> bool:
+        return txn_id in self._txns
+
+    def __len__(self) -> int:
+        return len(self._txns)
+
+    @property
+    def txn_ids(self) -> typing.List[int]:
+        return sorted(self._txns)
+
+    def transaction(self, txn_id: int) -> BatchTransaction:
+        return self._txns[txn_id]
+
+    def add_transaction(self, txn: BatchTransaction) -> None:
+        """Declare ``txn``: add its node and conflict edges vs all actives."""
+        if txn.txn_id in self._txns:
+            raise ValueError(f"T{txn.txn_id} already in WTPG")
+        opponents: typing.Set[int] = set()
+        for file_id in txn.files:
+            opponents |= self._writers.get(file_id, set())
+            if txn.writes(file_id):
+                opponents |= self._readers.get(file_id, set())
+        opponents.discard(txn.txn_id)
+        for other_id in opponents:
+            self._conflicts[frozenset((other_id, txn.txn_id))] = None
+            self._conflict_adj.setdefault(other_id, set()).add(txn.txn_id)
+            self._conflict_adj.setdefault(txn.txn_id, set()).add(other_id)
+        self._txns[txn.txn_id] = txn
+        self._succ.setdefault(txn.txn_id, set())
+        self._pred.setdefault(txn.txn_id, set())
+        self._conflict_adj.setdefault(txn.txn_id, set())
+        self._level.setdefault(txn.txn_id, 0)
+        for file_id in txn.files:
+            index = self._writers if txn.writes(file_id) else self._readers
+            index.setdefault(file_id, set()).add(txn.txn_id)
+
+    def remove_transaction(self, txn_id: int) -> None:
+        """Drop a committed/aborted transaction and its incident edges.
+
+        Other nodes' levels stay valid: removing edges only relaxes the
+        level invariant.
+        """
+        txn = self._txns.pop(txn_id, None)
+        if txn is None:
+            raise KeyError(f"T{txn_id} not in WTPG")
+        for other_id in self._conflict_adj.pop(txn_id, set()):
+            self._conflicts.pop(frozenset((txn_id, other_id)), None)
+            self._conflict_adj[other_id].discard(txn_id)
+        for succ in self._succ.pop(txn_id, set()):
+            self._pred[succ].discard(txn_id)
+            del self._precedence[(txn_id, succ)]
+        for pred in self._pred.pop(txn_id, set()):
+            self._succ[pred].discard(txn_id)
+            del self._precedence[(pred, txn_id)]
+        for file_id in txn.files:
+            index = self._writers if txn.writes(file_id) else self._readers
+            holders = index.get(file_id)
+            if holders is not None:
+                holders.discard(txn_id)
+                if not holders:
+                    del index[file_id]
+        self._level.pop(txn_id, None)
+
+    @staticmethod
+    def _blocked_weight(
+        blocker: BatchTransaction, blocked: BatchTransaction
+    ) -> float:
+        """w(blocker -> blocked): blocked's I/O from its blocked step on."""
+        step = blocked.blocked_step_against(blocker)
+        return blocked.declared_cost_from_step(step)
+
+    # -- edge queries --------------------------------------------------------
+
+    def conflict_edges(self) -> typing.List[ConflictEdge]:
+        return [self._materialise(key) for key in list(self._conflicts)]
+
+    def has_conflict_edge(self, i: int, j: int) -> bool:
+        return frozenset((i, j)) in self._conflicts
+
+    def conflict_edge(self, i: int, j: int) -> ConflictEdge:
+        key = frozenset((i, j))
+        if key not in self._conflicts:
+            raise KeyError(f"no conflict edge between T{i} and T{j}")
+        return self._materialise(key)
+
+    def _materialise(self, key: typing.FrozenSet[int]) -> ConflictEdge:
+        """Compute (once) the weights of a lazily-created conflict edge."""
+        edge = self._conflicts[key]
+        if edge is None:
+            a, b = sorted(key)
+            ta, tb = self._txns[a], self._txns[b]
+            edge = ConflictEdge(
+                a=a,
+                b=b,
+                weight_ab=self._blocked_weight(blocker=ta, blocked=tb),
+                weight_ba=self._blocked_weight(blocker=tb, blocked=ta),
+            )
+            self._conflicts[key] = edge
+        return edge
+
+    def precedence_edges(self) -> typing.Dict[typing.Tuple[int, int], float]:
+        return dict(self._precedence)
+
+    def has_precedence(self, i: int, j: int) -> bool:
+        return (i, j) in self._precedence
+
+    def neighbors(self, txn_id: int) -> typing.Set[int]:
+        """Transactions joined to ``txn_id`` by any (conflict or
+        precedence) edge -- the adjacency the chain-form test inspects."""
+        return (
+            self._conflict_adj.get(txn_id, set())
+            | self._succ.get(txn_id, set())
+            | self._pred.get(txn_id, set())
+        )
+
+    def t0_weight(self, txn_id: int) -> float:
+        """w(T0 -> Ti): remaining declared I/O of the transaction now."""
+        return self._txns[txn_id].remaining_declared_cost()
+
+    def level_of(self, txn_id: int) -> int:
+        """The node's maintained topological level (for tests/metrics)."""
+        return self._level[txn_id]
+
+    # -- grant-driven precedence fixing ----------------------------------------
+
+    def conflicting_declarers(
+        self, txn_id: int, file_id: int
+    ) -> typing.List[int]:
+        """Active transactions whose declared access to the file
+        conflicts with ``txn_id``'s declared access to it."""
+        txn = self._txns[txn_id]
+        opponents = set(self._writers.get(file_id, ()))
+        if txn.writes(file_id):
+            opponents |= self._readers.get(file_id, set())
+        opponents.discard(txn_id)
+        return sorted(opponents)
+
+    def fixes_for_grant(
+        self, txn_id: int, file_id: int
+    ) -> typing.List[typing.Tuple[int, int]]:
+        """Precedence determinations implied by granting ``file_id`` to T.
+
+        Granting puts T's access to the file before every other declared
+        conflicting access, so the serialization order T -> other becomes
+        determined for every active transaction with a conflicting
+        declaration on the file.  Pairs already determined in the *other*
+        direction are included too: for them the returned "fix" is a
+        contradiction that :meth:`creates_cycle` reports as a deadlock.
+        """
+        return [
+            (txn_id, other_id)
+            for other_id in self.conflicting_declarers(txn_id, file_id)
+            if (txn_id, other_id) not in self._precedence
+        ]
+
+    def creates_cycle(
+        self, fixes: typing.Iterable[typing.Tuple[int, int]]
+    ) -> bool:
+        """Would adding these precedence edges create a cycle (deadlock)?
+
+        Grant-driven fixes all share one source T: the (acyclic) graph
+        gains a cycle iff some fix target already reaches T.  The level
+        invariant prunes the search: a path j ~> T needs
+        ``level(j) < level(T)`` and only passes through levels below
+        T's.  Mixed-source fix sets fall back to a full cycle test.
+        """
+        extra = list(fixes)
+        if not extra:
+            return False
+        sources = {i for i, _ in extra}
+        if len(sources) == 1:
+            (source,) = sources
+            targets = {j for _, j in extra}
+            if source in targets:
+                return True
+            return self._any_reaches(targets, source)
+        adjacency = {node: set(succ) for node, succ in self._succ.items()}
+        for i, j in extra:
+            adjacency.setdefault(i, set()).add(j)
+        return self._has_cycle(adjacency)
+
+    def _any_reaches(self, starts: typing.Set[int], goal: int) -> bool:
+        """Is there a precedence path from any of ``starts`` to ``goal``?"""
+        goal_level = self._level[goal]
+        stack = [s for s in starts if self._level.get(s, 0) < goal_level]
+        seen = set(stack)
+        while stack:
+            node = stack.pop()
+            for nxt in self._succ.get(node, ()):
+                if nxt == goal:
+                    return True
+                if nxt not in seen and self._level[nxt] < goal_level:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    def apply_fix(self, i: int, j: int) -> None:
+        """Replace conflict edge (i, j) by precedence edge i -> j."""
+        key = frozenset((i, j))
+        if key not in self._conflicts:
+            if (i, j) in self._precedence:
+                return  # already determined in this direction
+            raise KeyError(f"no conflict edge between T{i} and T{j}")
+        edge = self._materialise(key)
+        del self._conflicts[key]
+        self._conflict_adj[i].discard(j)
+        self._conflict_adj[j].discard(i)
+        self._precedence[(i, j)] = edge.weight(i, j)
+        self._succ.setdefault(i, set()).add(j)
+        self._pred.setdefault(j, set()).add(i)
+        self._raise_level(i, j)
+
+    def _raise_level(self, source: int, target: int) -> None:
+        """Restore ``level(u) < level(v)`` after adding source -> target.
+
+        Standard forward relabelling; callers must have excluded cycles
+        (a cycle would send the walk back into ``source``, which raises).
+        """
+        if self._level[target] > self._level[source]:
+            return
+        self._level[target] = self._level[source] + 1
+        stack = [target]
+        while stack:
+            node = stack.pop()
+            node_level = self._level[node]
+            for nxt in self._succ.get(node, ()):
+                if self._level[nxt] <= node_level:
+                    if nxt == source:
+                        raise ValueError(
+                            f"precedence cycle through T{source} -> T{target}"
+                        )
+                    self._level[nxt] = node_level + 1
+                    stack.append(nxt)
+
+    def propagate_transitive_fixes(self) -> typing.List[typing.Tuple[int, int]]:
+        """Resolve conflict edges forced by existing precedence paths.
+
+        When a precedence path Ti ~> Tj exists, the conflict edge (Ti, Tj)
+        can only legally be oriented Ti -> Tj (Fig. 6's T4 -> T7 example);
+        fix all such edges until none remain.  Returns the fixes applied.
+        """
+        applied = []
+        changed = True
+        while changed:
+            changed = False
+            for key in list(self._conflicts):
+                if key not in self._conflicts:
+                    continue  # resolved by an earlier fix this sweep
+                i, j = tuple(key)
+                if self.has_path(i, j):
+                    self.apply_fix(i, j)
+                    applied.append((i, j))
+                    changed = True
+                elif self.has_path(j, i):
+                    self.apply_fix(j, i)
+                    applied.append((j, i))
+                    changed = True
+        return applied
+
+    def grant(
+        self, txn_id: int, file_id: int, propagate: bool = True
+    ) -> typing.List[typing.Tuple[int, int]]:
+        """Apply all precedence consequences of a lock grant.
+
+        Returns the fixes applied (direct + transitive).  Raises if the
+        grant would create a cycle -- schedulers must test first.
+
+        ``propagate=False`` skips the transitive conflict-edge resolution:
+        schedulers that never read edge weights (C2PL) can resolve those
+        edges lazily -- a later grant against a forced order still fails
+        the cycle test -- and skipping keeps large graphs affordable.
+        """
+        fixes = self.fixes_for_grant(txn_id, file_id)
+        if self.creates_cycle(fixes):
+            raise ValueError(
+                f"granting F{file_id} to T{txn_id} creates a precedence cycle"
+            )
+        for i, j in fixes:
+            self.apply_fix(i, j)
+        if not propagate:
+            return fixes
+        return fixes + self.propagate_transitive_fixes()
+
+    # -- path / cycle machinery ---------------------------------------------
+
+    def has_path(self, src: int, dst: int) -> bool:
+        """Is there a directed precedence path src ~> dst?"""
+        if src == dst:
+            return True
+        if self._level.get(src, 0) >= self._level.get(dst, 0):
+            return False
+        return self._any_reaches({src}, dst)
+
+    @staticmethod
+    def _has_cycle(adjacency: typing.Dict[int, typing.Set[int]]) -> bool:
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: typing.Dict[int, int] = {}
+        nodes = set(adjacency)
+        for targets in adjacency.values():
+            nodes |= targets
+
+        # iterative DFS (overloaded graphs are deeper than the C stack)
+        def visit(root: int) -> bool:
+            stack: typing.List[typing.Tuple[int, typing.Iterator[int]]] = [
+                (root, iter(adjacency.get(root, ())))
+            ]
+            colour[root] = GREY
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for nxt in children:
+                    state = colour.get(nxt, WHITE)
+                    if state == GREY:
+                        return True
+                    if state == WHITE:
+                        colour[nxt] = GREY
+                        stack.append((nxt, iter(adjacency.get(nxt, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+            return False
+
+        return any(
+            colour.get(node, WHITE) == WHITE and visit(node) for node in nodes
+        )
+
+    def critical_path_length(self) -> float:
+        """Longest T0-to-Tf path over precedence edges (conflicts ignored).
+
+        Returns ``inf`` when the precedence edges contain a cycle (a state
+        the schedulers treat as deadlock).
+        """
+        indegree = {t: len(self._pred.get(t, ())) for t in self._txns}
+        order: typing.List[int] = [t for t, d in indegree.items() if d == 0]
+        queue = list(order)
+        while queue:
+            node = queue.pop()
+            for nxt in self._succ.get(node, ()):
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    order.append(nxt)
+                    queue.append(nxt)
+        if len(order) < len(self._txns):
+            return math.inf  # a cycle kept some node's indegree positive
+        dist = {t: self.t0_weight(t) for t in self._txns}
+        for node in order:
+            for nxt in self._succ.get(node, ()):
+                candidate = dist[node] + self._precedence[(node, nxt)]
+                if candidate > dist[nxt]:
+                    dist[nxt] = candidate
+        return max(dist.values(), default=0.0)
+
+    # -- hypothetical evaluation (LOW's E function) -----------------------------
+
+    def hypothetical_grant_critical_path(
+        self, txn_id: int, file_id: int
+    ) -> float:
+        """E(q) of Fig. 5: critical path after granting q, or inf on deadlock.
+
+        The evaluation works on a scratch copy; the real graph is
+        untouched.
+        """
+        scratch = self._scratch_copy()
+        fixes = scratch.fixes_for_grant(txn_id, file_id)
+        if scratch.creates_cycle(fixes):
+            return math.inf
+        for i, j in fixes:
+            scratch.apply_fix(i, j)
+        scratch.propagate_transitive_fixes()
+        return scratch.critical_path_length()
+
+    def _scratch_copy(self) -> "WTPG":
+        """Copy sharing transactions but with private edge/level state.
+
+        Subclass-aware: extension WTPGs (e.g. the resource-aware variant)
+        keep their extra weighting state in hypothetical evaluations.
+        """
+        copy = type(self).__new__(type(self))
+        copy.__dict__.update(self.__dict__)
+        copy._txns = dict(self._txns)
+        copy._conflicts = dict(self._conflicts)
+        copy._precedence = dict(self._precedence)
+        copy._succ = {k: set(v) for k, v in self._succ.items()}
+        copy._pred = {k: set(v) for k, v in self._pred.items()}
+        copy._conflict_adj = {
+            k: set(v) for k, v in self._conflict_adj.items()
+        }
+        copy._readers = {k: set(v) for k, v in self._readers.items()}
+        copy._writers = {k: set(v) for k, v in self._writers.items()}
+        copy._level = dict(self._level)
+        return copy
+
+    def check_invariants(self) -> None:
+        """Assert internal consistency (test hook).
+
+        Verifies adjacency mirrors the edge dicts and that every
+        precedence edge satisfies the level invariant.
+        """
+        for (i, j) in self._precedence:
+            assert j in self._succ.get(i, set()), (i, j)
+            assert i in self._pred.get(j, set()), (i, j)
+            assert self._level[i] < self._level[j], (
+                i,
+                j,
+                self._level[i],
+                self._level[j],
+            )
+        for key in self._conflicts:
+            i, j = tuple(key)
+            assert j in self._conflict_adj.get(i, set())
+            assert i in self._conflict_adj.get(j, set())
+        for node, succ in self._succ.items():
+            for s in succ:
+                assert (node, s) in self._precedence
+
+    def __repr__(self) -> str:
+        return (
+            f"<WTPG txns={len(self._txns)} conflicts={len(self._conflicts)} "
+            f"precedence={len(self._precedence)}>"
+        )

@@ -1,0 +1,148 @@
+"""The event loop: a time-ordered heap of triggered events.
+
+Determinism: events scheduled for the same simulated time fire in FIFO
+order of scheduling (a monotonically increasing sequence number breaks
+ties), so a simulation with a fixed RNG seed replays identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.des.events import AllOf, AnyOf, Event, Timeout
+from repro.des.process import Process, ProcessGenerator
+
+
+class StopSimulation(Exception):
+    """Raised by :meth:`Environment.run` internals to end the run early."""
+
+
+class Environment:
+    """Simulation environment: clock, event heap and process factory."""
+
+    #: scheduling priority for "urgent" events (interrupts)
+    PRIORITY_URGENT = 0
+    #: default scheduling priority
+    PRIORITY_NORMAL = 1
+
+    def __init__(self, initial_time: float = 0.0, strict: bool = True) -> None:
+        self._now = float(initial_time)
+        self._queue: typing.List[
+            typing.Tuple[float, int, int, Event]
+        ] = []  # (time, priority, seq, event)
+        self._seq = 0
+        self._active_process: typing.Optional[Process] = None
+        #: when True, exceptions escaping a process propagate out of run()
+        self.strict = strict
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> typing.Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: ProcessGenerator, name: typing.Optional[str] = None
+    ) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: typing.Iterable[Event]) -> AllOf:
+        """Event firing once every event in ``events`` fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: typing.Iterable[Event]) -> AnyOf:
+        """Event firing once any event in ``events`` fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL
+    ) -> None:
+        """Enqueue a triggered event to fire ``delay`` from now."""
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Fire the single next event (advancing the clock to it)."""
+        if not self._queue:
+            raise StopSimulation("event queue is empty")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event._mark_processed()
+        for callback in callbacks:
+            callback(event)
+
+    # -- run loop ------------------------------------------------------------
+
+    def run(self, until: typing.Optional[typing.Union[float, Event]] = None) -> object:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        - ``None``: run until the event queue drains;
+        - a number: run until the clock reaches that time (the clock is set
+          to exactly that time on return);
+        - an :class:`Event`: run until that event fires, returning its
+          value (or raising its exception).
+        """
+        if until is None:
+            stop_at = float("inf")
+            stop_event: typing.Optional[Event] = None
+        elif isinstance(until, Event):
+            stop_at = float("inf")
+            stop_event = until
+            if stop_event.processed:
+                if stop_event.ok:
+                    return stop_event.value
+                raise typing.cast(BaseException, stop_event.value)
+        else:
+            stop_at = float(until)
+            stop_event = None
+            if stop_at < self._now:
+                raise ValueError(
+                    f"until={stop_at} lies in the past (now={self._now})"
+                )
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self.peek() > stop_at:
+                break
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.processed:
+                raise RuntimeError(
+                    "run(until=event) exhausted the queue before the event fired"
+                )
+            if stop_event.ok:
+                return stop_event.value
+            raise typing.cast(BaseException, stop_event.value)
+
+        if stop_at != float("inf"):
+            self._now = stop_at
+        return None

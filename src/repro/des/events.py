@@ -1,0 +1,210 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a one-shot future scheduled on an
+:class:`~repro.des.engine.Environment`.  Processes yield events; the
+environment resumes the process when the event fires.  Events succeed with
+an optional value or fail with an exception.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.des.engine import Environment
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries whatever object the interrupter passed
+    to :meth:`repro.des.process.Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Lifecycle: *pending* -> *triggered* (scheduled on the event queue) ->
+    *processed* (callbacks ran).  An event may only be triggered once.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    #: sentinel distinguishing "no value yet" from a ``None`` value
+    _PENDING = object()
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: typing.List[typing.Callable[["Event"], None]] = []
+        self._value: object = Event._PENDING
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state inspection -------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The event's value; raises if the event has not yet fired."""
+        if self._value is Event._PENDING:
+            raise RuntimeError(f"{self!r} has not yet been triggered")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: object = None) -> "Event":
+        """Schedule the event to fire successfully with ``value``."""
+        if self._triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Schedule the event to fire by raising ``exception`` in waiters."""
+        if self._triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._triggered = True
+        self.env.schedule(self)
+        return self
+
+    def _mark_processed(self) -> None:
+        self._processed = True
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self._processed
+            else "triggered"
+            if self._triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: object = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        env.schedule(self, delay=delay)
+
+
+class ConditionValue:
+    """Mapping-like container with the values of fired sub-events."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: typing.List[Event]) -> None:
+        self.events = events
+
+    def __getitem__(self, event: Event) -> object:
+        if event not in self.events:
+            raise KeyError(event)
+        return event.value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def values(self) -> typing.List[object]:
+        return [event.value for event in self.events]
+
+
+class Condition(Event):
+    """Composite event that fires when ``evaluate`` says enough fired.
+
+    Used through the :class:`AllOf` / :class:`AnyOf` conveniences.  A
+    failure of any sub-event fails the condition immediately.
+    """
+
+    __slots__ = ("_events", "_evaluate", "_fired_count")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: typing.Callable[[typing.List[Event], int], bool],
+        events: typing.Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._fired_count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("all events must share one environment")
+
+        if not self._events:
+            self.succeed(ConditionValue([]))
+            return
+
+        for event in self._events:
+            if event.processed:
+                self._on_sub_event(event)
+            else:
+                event.callbacks.append(self._on_sub_event)
+
+    def _on_sub_event(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(typing.cast(BaseException, event.value))
+            return
+        self._fired_count += 1
+        if self._evaluate(self._events, self._fired_count):
+            fired = [e for e in self._events if e.triggered and e.ok]
+            self.succeed(ConditionValue(fired))
+
+
+class AllOf(Condition):
+    """Fires when every sub-event has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: typing.Iterable[Event]) -> None:
+        super().__init__(env, lambda evs, count: count >= len(evs), events)
+
+
+class AnyOf(Condition):
+    """Fires when at least one sub-event has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: typing.Iterable[Event]) -> None:
+        super().__init__(env, lambda evs, count: count >= 1, events)

@@ -1,0 +1,165 @@
+"""Statistics collectors for simulation outputs.
+
+Three collectors cover the paper's metrics:
+
+- :class:`Tally` -- sample statistics over discrete observations
+  (per-transaction response times).
+- :class:`TimeWeighted` -- time-average of a piecewise-constant signal
+  (resource utilisation, queue lengths).
+- :class:`Counter` -- monotone event counts (commits, aborts, restarts).
+
+All collectors support a *warm-up reset*: statistics gathered before the
+reset are discarded so steady-state metrics exclude the ramp-up transient.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+
+class Tally:
+    """Streaming mean/variance/min/max over observed samples (Welford)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._samples: typing.Optional[typing.List[float]] = None
+
+    def keep_samples(self) -> "Tally":
+        """Retain raw samples (enables percentiles); returns self."""
+        if self._samples is None:
+            self._samples = []
+        return self
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if self._samples is not None:
+            self._samples.append(value)
+
+    def reset(self) -> None:
+        """Discard everything observed so far (warm-up cutoff)."""
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        if self._samples is not None:
+            self._samples = []
+
+    @property
+    def mean(self) -> float:
+        """Sample mean, NaN when empty."""
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance, NaN for fewer than two samples."""
+        return self._m2 / (self.count - 1) if self.count > 1 else math.nan
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        var = self.variance
+        return math.sqrt(var) if not math.isnan(var) else math.nan
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (0..100) by nearest-rank; needs keep_samples()."""
+        if self._samples is None:
+            raise RuntimeError("call keep_samples() before percentile()")
+        if not self._samples:
+            return math.nan
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self._samples)
+        rank = max(0, math.ceil(q / 100 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def __repr__(self) -> str:
+        return f"<Tally {self.name!r} n={self.count} mean={self.mean:.4g}>"
+
+
+class TimeWeighted:
+    """Time-average of a piecewise-constant signal.
+
+    Call :meth:`update` whenever the signal changes; the integral of the
+    signal over time accumulates between updates.
+    """
+
+    def __init__(self, now: float, value: float = 0.0, name: str = "") -> None:
+        self.name = name
+        self._value = value
+        self._last_change = now
+        self._area = 0.0
+        self._start = now
+        self.maximum = value
+
+    @property
+    def value(self) -> float:
+        """Current signal level."""
+        return self._value
+
+    def update(self, now: float, value: float) -> None:
+        """Set the signal to ``value`` as of time ``now``."""
+        if now < self._last_change:
+            raise ValueError("time went backwards in TimeWeighted.update")
+        self._area += self._value * (now - self._last_change)
+        self._last_change = now
+        self._value = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def increment(self, now: float, delta: float = 1.0) -> None:
+        """Adjust the signal by ``delta`` at time ``now``."""
+        self.update(now, self._value + delta)
+
+    def reset(self, now: float) -> None:
+        """Restart averaging at ``now``, keeping the current level."""
+        self._area = 0.0
+        self._start = now
+        self._last_change = now
+        self.maximum = self._value
+
+    def time_average(self, now: float) -> float:
+        """Average level over [reset-time, now]; NaN on a zero window."""
+        span = now - self._start
+        if span <= 0:
+            return math.nan
+        area = self._area + self._value * (now - self._last_change)
+        return area / span
+
+    def __repr__(self) -> str:
+        return f"<TimeWeighted {self.name!r} value={self._value:.4g}>"
+
+
+class Counter:
+    """A named monotone counter with warm-up reset."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.total = 0
+
+    def increment(self, by: int = 1) -> None:
+        """Add ``by`` (must be non-negative) to the count."""
+        if by < 0:
+            raise ValueError("Counter is monotone; use a TimeWeighted signal")
+        self.total += by
+
+    def reset(self) -> None:
+        """Zero the counter (warm-up cutoff)."""
+        self.total = 0
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name!r} total={self.total}>"

@@ -1,0 +1,116 @@
+"""Process abstraction: a generator driven by the event loop.
+
+A process is created from a Python generator that yields
+:class:`~repro.des.events.Event` objects.  Each yield suspends the process
+until the yielded event fires; the event's value is sent back into the
+generator (or its exception thrown in).  A process is itself an event that
+fires when the generator returns, which lets processes wait on each other.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.des.events import Event, Interrupt
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.des.engine import Environment
+
+ProcessGenerator = typing.Generator[Event, object, object]
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator."""
+
+    __slots__ = ("generator", "name", "_target")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: ProcessGenerator,
+        name: typing.Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"expected a generator, got {generator!r}")
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: the event this process is currently waiting on (None when ready)
+        self._target: typing.Optional[Event] = None
+
+        # Kick the process off via an immediately-firing bootstrap event.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Interrupting a finished process is an error; interrupting a process
+        blocked on an event detaches it from that event first.
+        """
+        if self._triggered:
+            raise RuntimeError(f"{self!r} has already terminated")
+        target = self._target
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._target = None
+        failed = Event(self.env)
+        failed.callbacks.append(self._resume)
+        failed._ok = False
+        failed._value = Interrupt(cause)
+        failed._triggered = True
+        self.env.schedule(failed, priority=0)
+
+    # -- engine plumbing ---------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        self.env._active_process = self
+        try:
+            if event.ok:
+                next_target = self.generator.send(event.value)
+            else:
+                next_target = self.generator.throw(
+                    typing.cast(BaseException, event.value)
+                )
+        except StopIteration as stop:
+            self._target = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self._target = None
+            if self.env.strict:
+                raise
+            self.fail(exc)
+            return
+        finally:
+            self.env._active_process = None
+
+        if not isinstance(next_target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {next_target!r}, "
+                "which is not an Event"
+            )
+        if next_target.env is not self.env:
+            raise ValueError("yielded event belongs to another environment")
+        self._target = next_target
+        if next_target.processed:
+            # Already fired and processed: resume on the next scheduling slot.
+            relay = Event(self.env)
+            relay.callbacks.append(self._resume)
+            relay._ok = next_target.ok
+            relay._value = next_target._value
+            relay._triggered = True
+            self.env.schedule(relay)
+        else:
+            next_target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:
+        status = "alive" if self.is_alive else "done"
+        return f"<Process {self.name!r} ({status})>"

@@ -1,0 +1,126 @@
+"""Shared resources: FIFO servers and message stores.
+
+:class:`Resource` models a server pool (e.g. the control node's CPU) with
+FIFO granting.  :class:`Store` is an unbounded FIFO hand-off queue between
+processes (e.g. a node's inbox).
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.des.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.des.engine import Environment
+
+
+class Request(Event):
+    """Pending claim on a :class:`Resource`; fires when granted.
+
+    Usable as a context manager so that ``with resource.request() as req:``
+    releases the claim on exit even if the process body raises.
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted claim (no-op if already granted)."""
+        self.resource._cancel(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A pool of ``capacity`` identical servers granted in FIFO order."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._waiting: typing.Deque[Request] = collections.deque()
+        self._granted: typing.Set[Request] = set()
+
+    @property
+    def in_use(self) -> int:
+        """Number of servers currently held."""
+        return len(self._granted)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a server."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Claim a server; the returned event fires when granted."""
+        req = Request(self)
+        if len(self._granted) < self.capacity:
+            self._granted.add(req)
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a server to the pool and grant the next waiter."""
+        if request in self._granted:
+            self._granted.remove(request)
+            self._grant_next()
+        else:
+            # Releasing an ungranted request withdraws it from the queue.
+            self._cancel(request)
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self._waiting.remove(request)
+        except ValueError:
+            pass
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self._granted) < self.capacity:
+            nxt = self._waiting.popleft()
+            if nxt.triggered:  # withdrawn/poisoned requests are skipped
+                continue
+            self._granted.add(nxt)
+            nxt.succeed()
+
+
+class Store:
+    """Unbounded FIFO queue of items passed between processes."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._items: typing.Deque[object] = collections.deque()
+        self._getters: typing.Deque[Event] = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: object) -> None:
+        """Deposit ``item``, waking the oldest waiting getter if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Event firing with the oldest item (immediately if available)."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event

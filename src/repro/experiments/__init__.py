@@ -1,0 +1,38 @@
+"""The paper's experiments: one function per table/figure.
+
+- Experiment 1 (blocking): :func:`exp1.figure8`, :func:`exp1.table2`,
+  :func:`exp1.figure9`, :func:`exp1.table3`, :func:`exp1.figure10`,
+  :func:`exp1.figure11`.
+- Experiment 2 (hot set): :func:`exp2.table4`, :func:`exp2.figure12`.
+- Experiment 3 (sensitivity): :func:`exp3.figure13`, :func:`exp3.table5`.
+
+Every function takes a :class:`~repro.experiments.common.RunScale`
+(``QUICK`` by default; ``PAPER`` for the full 2,000,000-clock horizon)
+and returns an :class:`~repro.experiments.common.ExperimentOutput`.
+"""
+
+from repro.experiments import exp1, exp2, exp3
+from repro.experiments.common import (
+    C2PLM_MPL_CANDIDATES,
+    PAPER,
+    QUICK,
+    SMOKE,
+    SCHEDULERS,
+    ExperimentOutput,
+    RunScale,
+    scale_from_env,
+)
+
+__all__ = [
+    "C2PLM_MPL_CANDIDATES",
+    "ExperimentOutput",
+    "PAPER",
+    "QUICK",
+    "RunScale",
+    "SCHEDULERS",
+    "SMOKE",
+    "exp1",
+    "exp2",
+    "exp3",
+    "scale_from_env",
+]

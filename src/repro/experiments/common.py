@@ -1,0 +1,83 @@
+"""Shared settings for the paper's experiments.
+
+The paper simulates 2,000,000 clocks (2,000 s) per measured point.  A
+full-fidelity reproduction is expensive across the dozens of points each
+figure needs, so every experiment takes a :class:`RunScale`; the
+``quick`` scale keeps wall-clock time reasonable for CI/benchmarks while
+preserving every qualitative shape, and ``paper`` matches the paper's
+horizon.  Set the environment variable ``REPRO_SCALE=paper`` to make the
+benchmark suite run full-length simulations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import typing
+
+#: the paper's scheduler line-up and reporting order
+SCHEDULERS = ("NODC", "ASL", "GOW", "LOW", "C2PL", "OPT")
+
+#: MPL candidates swept for C2PL+M ("the best C2PL")
+C2PLM_MPL_CANDIDATES = (2, 4, 6, 8, 12, 16)
+
+
+@dataclasses.dataclass(frozen=True)
+class RunScale:
+    """Simulation horizon and bisection effort for one experiment run."""
+
+    name: str
+    duration_ms: float
+    warmup_ms: float
+    bisect_iterations: int
+
+    @property
+    def measured_window_ms(self) -> float:
+        return self.duration_ms - self.warmup_ms
+
+
+#: fast: preserves orderings/shapes; used by default in benchmarks/tests
+QUICK = RunScale("quick", duration_ms=400_000.0, warmup_ms=60_000.0,
+                 bisect_iterations=6)
+
+#: the paper's 2,000,000-clock horizon
+PAPER = RunScale("paper", duration_ms=2_000_000.0, warmup_ms=200_000.0,
+                 bisect_iterations=8)
+
+#: minimal: smoke-testing the experiment plumbing only
+SMOKE = RunScale("smoke", duration_ms=120_000.0, warmup_ms=20_000.0,
+                 bisect_iterations=3)
+
+_SCALES = {s.name: s for s in (QUICK, PAPER, SMOKE)}
+
+
+def scale_from_env(default: RunScale = QUICK) -> RunScale:
+    """The run scale selected by ``REPRO_SCALE`` (quick/paper/smoke)."""
+    name = os.environ.get("REPRO_SCALE", default.name).lower()
+    if name not in _SCALES:
+        raise ValueError(
+            f"REPRO_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        )
+    return _SCALES[name]
+
+
+@dataclasses.dataclass
+class ExperimentOutput:
+    """One regenerated table or figure.
+
+    ``headers``/``rows`` carry the data; ``paper_reference`` restates what
+    the paper reported so EXPERIMENTS.md can be written from the output.
+    """
+
+    experiment_id: str
+    title: str
+    headers: typing.List[str]
+    rows: typing.List[typing.List[object]]
+    paper_reference: str = ""
+
+    def column(self, header: str) -> typing.List[object]:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def as_dict(self) -> typing.Dict[str, typing.List[object]]:
+        return {h: self.column(h) for h in self.headers}

@@ -1,0 +1,25 @@
+"""Shared-nothing machine substrate (Fig. 1 / Section 4.1 of the paper).
+
+- :class:`MachineConfig` -- Table 1 parameters.
+- :class:`DataPlacement` -- home nodes and declustering.
+- :class:`ControlNode` -- the coordinator CPU all control work runs on.
+- :class:`DataProcessingNode` / :class:`Cohort` -- round-robin scan service.
+- :class:`SharedNothingMachine` -- facade wiring it all, with the
+  per-step execution model (CN -> home node -> DD cohorts -> CN).
+"""
+
+from repro.machine.config import MachineConfig
+from repro.machine.control_node import ControlNode
+from repro.machine.data_node import Cohort, DataProcessingNode
+from repro.machine.machine import SharedNothingMachine, StepExecution
+from repro.machine.placement import DataPlacement
+
+__all__ = [
+    "Cohort",
+    "ControlNode",
+    "DataPlacement",
+    "DataProcessingNode",
+    "MachineConfig",
+    "SharedNothingMachine",
+    "StepExecution",
+]

@@ -1,0 +1,76 @@
+"""The control node (CN): a single CPU serving all coordination work.
+
+Every cost the paper attributes to the control node -- transaction
+startup, two-phase-commit coordination, message send/receive, and all
+concurrency-control computation (deadlock tests, E(q), chain optimisation)
+-- is a FIFO job on this one CPU.  The CN is therefore a potential
+bottleneck exactly as in the paper's model.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from repro.des import Environment, Resource
+from repro.des.monitor import Counter, TimeWeighted
+from repro.machine.config import MachineConfig
+
+
+class ControlNode:
+    """4 MIPS coordinator CPU with cost accounting."""
+
+    def __init__(self, env: Environment, config: MachineConfig) -> None:
+        self.env = env
+        self.config = config
+        self.cpu = Resource(env, capacity=1)
+        self.busy = TimeWeighted(env.now, 0.0, name="cn.busy")
+        self.cpu_ms_by_category: typing.Dict[str, float] = {}
+        self.messages = Counter("cn.messages")
+
+    def consume(
+        self, cost_ms: float, category: str = "other"
+    ) -> typing.Generator:
+        """Process generator: hold the CN CPU for ``cost_ms`` (scaled).
+
+        Yield from this inside a transaction/scheduler process::
+
+            yield from cn.consume(config.sot_time_ms, "startup")
+        """
+        if cost_ms < 0 or math.isnan(cost_ms):
+            raise ValueError(f"CPU cost must be >= 0, got {cost_ms}")
+        if cost_ms == 0:
+            return
+        scaled = self.config.scaled(cost_ms)
+        with self.cpu.request() as req:
+            yield req
+            self.busy.update(self.env.now, 1.0)
+            yield self.env.timeout(scaled)
+            self.cpu_ms_by_category[category] = (
+                self.cpu_ms_by_category.get(category, 0.0) + scaled
+            )
+            if self.cpu.queue_length == 0:
+                self.busy.update(self.env.now, 0.0)
+
+    def send_message(self) -> typing.Generator:
+        """CPU work for sending one message (plus wire delay if any)."""
+        yield from self.consume(self.config.msgtime_ms, "message")
+        self.messages.increment()
+        if self.config.netdelay_ms > 0:
+            yield self.env.timeout(self.config.netdelay_ms)
+
+    def receive_message(self) -> typing.Generator:
+        """CPU work for receiving one message."""
+        yield from self.consume(self.config.msgtime_ms, "message")
+        self.messages.increment()
+
+    def utilisation(self, now: typing.Optional[float] = None) -> float:
+        """Fraction of time the CN CPU was busy since the last reset."""
+        value = self.busy.time_average(self.env.now if now is None else now)
+        return 0.0 if math.isnan(value) else value
+
+    def reset_statistics(self) -> None:
+        """Restart utilisation averaging and cost accounting (warm-up)."""
+        self.busy.reset(self.env.now)
+        self.cpu_ms_by_category.clear()
+        self.messages.reset()

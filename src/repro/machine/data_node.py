@@ -1,0 +1,156 @@
+"""Data-processing nodes (DPNs) with round-robin cohort service.
+
+Per the paper's execution model: a step of a transaction on a file
+declustered over DD nodes is split into DD cohorts; each DPN serves its
+resident cohorts in a round-robin manner, the service quantum being the
+scan of 1/DD object (so a quantum lasts ``obj_time / DD`` ms).  The only
+DPN cost is I/O (``ObjTime`` per object); cohort-initiation control
+overhead is ignored, as in the paper.
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+import typing
+
+from repro.des import Environment, Event
+from repro.des.monitor import TimeWeighted
+
+#: tolerance when deciding a cohort has scanned all its objects
+_EPSILON = 1e-9
+
+
+class Cohort:
+    """One node's share of a step's scan.
+
+    ``objects`` is the cohort's total I/O demand in objects (step cost /
+    DD) and ``quantum_objects`` the round-robin service unit (1/DD object).
+    """
+
+    __slots__ = (
+        "txn_id",
+        "file_id",
+        "node_id",
+        "objects",
+        "scanned",
+        "quantum_objects",
+        "done",
+    )
+
+    def __init__(
+        self,
+        env: Environment,
+        txn_id: int,
+        file_id: int,
+        node_id: int,
+        objects: float,
+        quantum_objects: float,
+    ) -> None:
+        if objects < 0:
+            raise ValueError(f"cohort objects must be >= 0, got {objects}")
+        if quantum_objects <= 0:
+            raise ValueError(
+                f"quantum must be > 0 objects, got {quantum_objects}"
+            )
+        self.txn_id = txn_id
+        self.file_id = file_id
+        self.node_id = node_id
+        self.objects = objects
+        self.scanned = 0.0
+        self.quantum_objects = quantum_objects
+        #: fires when the cohort's whole scan is complete
+        self.done: Event = env.event()
+
+    @property
+    def remaining(self) -> float:
+        """Objects still to scan."""
+        return max(0.0, self.objects - self.scanned)
+
+    @property
+    def finished(self) -> bool:
+        return self.remaining <= _EPSILON
+
+    def __repr__(self) -> str:
+        return (
+            f"<Cohort txn={self.txn_id} file={self.file_id} "
+            f"node={self.node_id} {self.scanned:.3g}/{self.objects:.3g}>"
+        )
+
+
+class DataProcessingNode:
+    """A DPN serving cohorts round-robin in quanta of 1/DD object."""
+
+    def __init__(self, env: Environment, node_id: int, obj_time_ms: float) -> None:
+        if obj_time_ms <= 0:
+            raise ValueError(f"obj_time_ms must be > 0, got {obj_time_ms}")
+        self.env = env
+        self.node_id = node_id
+        self.obj_time_ms = obj_time_ms
+        self._ring: typing.Deque[Cohort] = collections.deque()
+        self._arrival: Event = env.event()
+        self.busy = TimeWeighted(env.now, 0.0, name=f"dpn{node_id}.busy")
+        self.queue = TimeWeighted(env.now, 0.0, name=f"dpn{node_id}.queue")
+        self._process = env.process(self._serve(), name=f"dpn-{node_id}")
+
+    # -- public interface ----------------------------------------------------
+
+    def submit(self, cohort: Cohort) -> Event:
+        """Enqueue ``cohort`` for service; returns its completion event."""
+        if cohort.node_id != self.node_id:
+            raise ValueError(
+                f"cohort for node {cohort.node_id} submitted to {self.node_id}"
+            )
+        if cohort.finished:
+            # zero-cost cohorts complete immediately (cost-0 steps exist in
+            # workloads where a declared demand rounds to zero)
+            if not cohort.done.triggered:
+                cohort.done.succeed(cohort)
+            return cohort.done
+        self._ring.append(cohort)
+        self.queue.update(self.env.now, len(self._ring))
+        if not self._arrival.triggered:
+            self._arrival.succeed()
+        return cohort.done
+
+    @property
+    def active_cohorts(self) -> int:
+        """Cohorts currently in the service rotation."""
+        return len(self._ring)
+
+    @property
+    def backlog_objects(self) -> float:
+        """Total unscanned objects queued at this node right now."""
+        return sum(c.remaining for c in self._ring)
+
+    def utilisation(self, now: typing.Optional[float] = None) -> float:
+        """Fraction of time the node was scanning since the last reset."""
+        value = self.busy.time_average(self.env.now if now is None else now)
+        return 0.0 if math.isnan(value) else value
+
+    def reset_statistics(self) -> None:
+        """Restart utilisation/queue averaging (warm-up cutoff)."""
+        self.busy.reset(self.env.now)
+        self.queue.reset(self.env.now)
+
+    # -- service loop ----------------------------------------------------------
+
+    def _serve(self) -> typing.Generator:
+        while True:
+            if not self._ring:
+                self._arrival = self.env.event()
+                self.busy.update(self.env.now, 0.0)
+                yield self._arrival
+                continue
+            self.busy.update(self.env.now, 1.0)
+            cohort = self._ring.popleft()
+            quantum = min(cohort.quantum_objects, cohort.remaining)
+            yield self.env.timeout(quantum * self.obj_time_ms)
+            cohort.scanned += quantum
+            if cohort.finished:
+                cohort.scanned = cohort.objects
+                if not cohort.done.triggered:
+                    cohort.done.succeed(cohort)
+            else:
+                self._ring.append(cohort)
+            self.queue.update(self.env.now, len(self._ring))

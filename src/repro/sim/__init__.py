@@ -1,0 +1,28 @@
+"""Simulation orchestration: runs, metrics and operating-point search."""
+
+from repro.sim.experiment import (
+    TARGET_RT_MS,
+    best_mpl_result,
+    find_throughput_at_response_time,
+    run_at_rate,
+    sweep,
+)
+from repro.sim.metrics import MetricsCollector, SimulationResult
+from repro.sim.replication import MetricEstimate, ReplicatedResult, estimate, replicate
+from repro.sim.simulation import Simulation, run_simulation
+
+__all__ = [
+    "MetricEstimate",
+    "MetricsCollector",
+    "ReplicatedResult",
+    "Simulation",
+    "SimulationResult",
+    "TARGET_RT_MS",
+    "best_mpl_result",
+    "find_throughput_at_response_time",
+    "run_at_rate",
+    "estimate",
+    "replicate",
+    "run_simulation",
+    "sweep",
+]

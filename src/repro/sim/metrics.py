@@ -1,0 +1,97 @@
+"""Result records and metric containers for simulation runs."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+from repro.des.monitor import Tally
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Steady-state metrics of one simulation run.
+
+    Times are milliseconds (the simulator's clock); ``throughput_tps``
+    and ``arrival_rate_tps`` are transactions per second as in the paper.
+    """
+
+    scheduler: str
+    arrival_rate_tps: float
+    duration_ms: float
+    warmup_ms: float
+    completed: int
+    mean_response_ms: float
+    p95_response_ms: float
+    max_response_ms: float
+    throughput_tps: float
+    cn_utilisation: float
+    dpn_utilisation: float
+    restarts: int
+    admission_rejections: int
+    blocks: int
+    delays: int
+    in_flight_at_end: int
+    seed: int
+    #: per-workload-class (label) metrics: label -> (count, mean RT ms)
+    label_metrics: typing.Dict[str, typing.Tuple[int, float]] = (
+        dataclasses.field(default_factory=dict)
+    )
+
+    @property
+    def mean_response_s(self) -> float:
+        """Mean response time in seconds (the paper's reporting unit)."""
+        return self.mean_response_ms / 1000.0
+
+    def speedup_against(self, baseline: "SimulationResult") -> float:
+        """Response-time speedup: RT(baseline) / RT(self).
+
+        The paper's Figs. 10-12 use DD = 1 as the baseline.
+        """
+        if math.isnan(self.mean_response_ms) or self.mean_response_ms <= 0:
+            return math.nan
+        return baseline.mean_response_ms / self.mean_response_ms
+
+
+class MetricsCollector:
+    """Accumulates per-transaction observations during a run."""
+
+    def __init__(self) -> None:
+        self.response_times = Tally("response_ms").keep_samples()
+        self.by_label: typing.Dict[str, Tally] = {}
+        self.commits = 0
+        self.restarts = 0
+        self.window_start = 0.0
+
+    def reset(self, now: float) -> None:
+        """Warm-up cutoff: discard the transient."""
+        self.response_times.reset()
+        self.by_label.clear()
+        self.commits = 0
+        self.restarts = 0
+        self.window_start = now
+
+    def record_commit(self, response_time_ms: float, label: str = "txn") -> None:
+        self.commits += 1
+        self.response_times.observe(response_time_ms)
+        tally = self.by_label.get(label)
+        if tally is None:
+            tally = self.by_label[label] = Tally(label)
+        tally.observe(response_time_ms)
+
+    def label_summary(self) -> typing.Dict[str, typing.Tuple[int, float]]:
+        """label -> (commit count, mean response ms)."""
+        return {
+            label: (tally.count, tally.mean)
+            for label, tally in self.by_label.items()
+        }
+
+    def record_restart(self) -> None:
+        self.restarts += 1
+
+    def throughput_tps(self, now: float) -> float:
+        window = now - self.window_start
+        if window <= 0:
+            return math.nan
+        return self.commits / (window / 1000.0)

@@ -1,0 +1,220 @@
+"""Wiring of machine + workload + scheduler into one simulation run.
+
+Implements the paper's execution model (Section 4.1, item 4) per
+transaction:
+
+1. arrival at the CN (Poisson);
+2. scheduler admission (MPL gate + policy) and ``sot_time`` CPU startup;
+3. per step: lock acquisition through the scheduler at the step that
+   first needs the file, then the scan (CN message out, DD cohorts served
+   round-robin on the DPNs, CN message in);
+4. ``cot_time`` CPU commitment, optimistic validation if the policy has
+   one, lock release; failed validation aborts and restarts the
+   transaction from scratch.
+
+The paper's measurements run 2,000,000 clocks (= ms) with mpl = infinity;
+``duration_ms`` and ``warmup_ms`` control the window here.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.audit import SerializabilityAuditor
+from repro.core.base import Scheduler, TransactionAborted
+from repro.core.registry import create as create_scheduler
+from repro.des import Environment, RandomStreams
+from repro.des.monitor import TimeWeighted
+from repro.machine.config import MachineConfig
+from repro.machine.machine import SharedNothingMachine
+from repro.sim.metrics import MetricsCollector, SimulationResult
+from repro.txn.transaction import BatchTransaction
+from repro.txn.workload import Workload
+
+SchedulerFactory = typing.Callable[
+    [Environment, MachineConfig, typing.Any], Scheduler
+]
+
+
+class Simulation:
+    """One complete simulation run."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        workload: Workload,
+        scheduler: str = "C2PL",
+        seed: int = 0,
+        duration_ms: float = 2_000_000.0,
+        warmup_ms: float = 0.0,
+        auditor: typing.Optional[SerializabilityAuditor] = None,
+        scheduler_factory: typing.Optional[SchedulerFactory] = None,
+        max_arrivals: typing.Optional[int] = None,
+    ) -> None:
+        if duration_ms <= 0:
+            raise ValueError(f"duration must be > 0, got {duration_ms}")
+        if not 0 <= warmup_ms < duration_ms:
+            raise ValueError(
+                f"warmup {warmup_ms} must lie inside the run {duration_ms}"
+            )
+        self.config = config
+        self.workload = workload
+        self.scheduler_name = scheduler
+        self.seed = seed
+        self.duration_ms = duration_ms
+        self.warmup_ms = warmup_ms
+        self.auditor = auditor
+        self.max_arrivals = max_arrivals
+
+        self.env = Environment()
+        self.streams = RandomStreams(seed)
+        self.machine = SharedNothingMachine(self.env, config)
+        if scheduler_factory is not None:
+            self.scheduler: Scheduler = scheduler_factory(
+                self.env, config, self.machine.control_node
+            )
+        else:
+            self.scheduler = create_scheduler(
+                scheduler, self.env, config, self.machine.control_node
+            )
+        self.scheduler.bind_machine(self.machine)
+        self.metrics = MetricsCollector()
+        self.in_flight = TimeWeighted(self.env.now, 0.0, "in-flight")
+        self._next_restart_id = 10_000_000  # ids for restarted attempts
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the run and return its steady-state metrics."""
+        self.env.process(self._arrivals(), name="arrivals")
+        if self.warmup_ms > 0:
+            self.env.process(self._warmup_reset(), name="warmup")
+        self.env.run(until=self.duration_ms)
+        return self._result()
+
+    # -- processes ------------------------------------------------------------------
+
+    def _arrivals(self) -> typing.Generator:
+        count = 0
+        while self.max_arrivals is None or count < self.max_arrivals:
+            delay = self.workload.next_interarrival_ms(self.streams)
+            yield self.env.timeout(delay)
+            txn = self.workload.make_transaction(self.env.now, self.streams)
+            self.in_flight.increment(self.env.now, +1)
+            self.env.process(self._execute(txn), name=f"txn-{txn.txn_id}")
+            count += 1
+
+    def _warmup_reset(self) -> typing.Generator:
+        yield self.env.timeout(self.warmup_ms)
+        self.metrics.reset(self.env.now)
+        self.machine.reset_statistics()
+        self.scheduler.stats.reset()
+
+    def _execute(self, txn: BatchTransaction) -> typing.Generator:
+        """Drive one transaction to commit, restarting on OPT aborts."""
+        scheduler = self.scheduler
+        cn = self.machine.control_node
+        attempt = txn
+        while True:
+            yield from scheduler.admit(attempt)
+            yield from cn.consume(self.config.sot_time_ms, "startup")
+
+            try:
+                while not attempt.finished_all_steps:
+                    step = attempt.current_step
+                    first_need = attempt.first_step_needing(step.file_id)
+                    if first_need == attempt.current_step_index:
+                        yield from scheduler.acquire(attempt, step.file_id)
+                    if self.auditor is not None:
+                        self.auditor.record_access(
+                            attempt.txn_id, step.file_id, step.mode, self.env.now
+                        )
+                    yield from self._run_step(attempt)
+                    attempt.advance()
+            except TransactionAborted:
+                # deadlock victim (plain 2PL): roll back and restart
+                yield from scheduler.abort(attempt)
+                if self.env.now >= self.warmup_ms:
+                    self.metrics.record_restart()
+                attempt = attempt.restart_copy(self._allocate_restart_id())
+                continue
+
+            yield from cn.consume(self.config.cot_time_ms, "commit")
+            if scheduler.validate_at_commit(attempt):
+                yield from scheduler.commit(attempt)
+                if self.auditor is not None:
+                    self.auditor.record_commit(attempt.txn_id, self.env.now)
+                if self.env.now >= self.warmup_ms:
+                    self.metrics.record_commit(attempt.response_time(), attempt.label)
+                self.in_flight.increment(self.env.now, -1)
+                return
+            yield from scheduler.abort(attempt)
+            if self.env.now >= self.warmup_ms:
+                self.metrics.record_restart()
+            attempt = attempt.restart_copy(self._allocate_restart_id())
+
+    def _run_step(self, txn: BatchTransaction) -> typing.Generator:
+        """The machine-level scan of the current step (Section 4.1)."""
+        step = txn.current_step
+        execution = self.machine.begin_step(
+            txn.txn_id, step.file_id, step.cost
+        )
+        txn.current_execution = execution
+        cn = self.machine.control_node
+        yield from cn.send_message()
+        done = [
+            self.machine.data_nodes[c.node_id].submit(c)
+            for c in execution.cohorts
+        ]
+        yield self.env.all_of(done)
+        yield from cn.receive_message()
+
+    def _allocate_restart_id(self) -> int:
+        self._next_restart_id += 1
+        return self._next_restart_id
+
+    # -- results ----------------------------------------------------------------------
+
+    def _result(self) -> SimulationResult:
+        tally = self.metrics.response_times
+        return SimulationResult(
+            scheduler=self.scheduler.name,
+            arrival_rate_tps=self.workload.arrival_rate_tps,
+            duration_ms=self.duration_ms,
+            warmup_ms=self.warmup_ms,
+            completed=self.metrics.commits,
+            mean_response_ms=tally.mean,
+            p95_response_ms=tally.percentile(95),
+            max_response_ms=tally.maximum if tally.count else float("nan"),
+            throughput_tps=self.metrics.throughput_tps(self.env.now),
+            cn_utilisation=self.machine.control_node.utilisation(),
+            dpn_utilisation=self.machine.mean_dpn_utilisation(),
+            restarts=self.metrics.restarts,
+            admission_rejections=self.scheduler.stats.admission_rejections.total,
+            blocks=self.scheduler.stats.blocks.total,
+            delays=self.scheduler.stats.delays.total,
+            in_flight_at_end=int(self.in_flight.value),
+            seed=self.seed,
+            label_metrics=self.metrics.label_summary(),
+        )
+
+
+def run_simulation(
+    scheduler: str,
+    workload: Workload,
+    config: typing.Optional[MachineConfig] = None,
+    seed: int = 0,
+    duration_ms: float = 2_000_000.0,
+    warmup_ms: float = 0.0,
+    **kwargs: typing.Any,
+) -> SimulationResult:
+    """Convenience one-call run (see :class:`Simulation`)."""
+    return Simulation(
+        config or MachineConfig(),
+        workload,
+        scheduler=scheduler,
+        seed=seed,
+        duration_ms=duration_ms,
+        warmup_ms=warmup_ms,
+        **kwargs,
+    ).run()

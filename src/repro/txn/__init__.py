@@ -1,0 +1,45 @@
+"""Batch-transaction model (Section 2 of the paper).
+
+- :class:`Step` / :class:`AccessMode` -- one file scan, S or X.
+- :class:`Pattern` -- the ``r(F1:1) -> w(F2:0.2)`` workload DSL, with the
+  paper's :data:`PATTERN_1` and :data:`PATTERN_2` predefined.
+- :class:`BatchTransaction` -- declared step sequence, lock plan, WTPG
+  cost arithmetic, restart support.
+- :class:`Workload` and the per-experiment factories -- Poisson arrivals
+  and the Experiment 1/2/3 file-choice and declaration-error rules.
+"""
+
+from repro.txn.pattern import PATTERN_1, PATTERN_2, Pattern, PatternError
+from repro.txn.step import AccessMode, Step
+from repro.txn.transaction import BatchTransaction, TransactionState
+from repro.txn.workload import (
+    DeclarationErrorModel,
+    MixedWorkload,
+    Workload,
+    experiment1_workload,
+    experiment2_workload,
+    experiment3_workload,
+    hot_set_chooser,
+    mixed_workload,
+    uniform_two_files,
+)
+
+__all__ = [
+    "AccessMode",
+    "BatchTransaction",
+    "DeclarationErrorModel",
+    "PATTERN_1",
+    "PATTERN_2",
+    "Pattern",
+    "PatternError",
+    "Step",
+    "TransactionState",
+    "Workload",
+    "experiment1_workload",
+    "experiment2_workload",
+    "experiment3_workload",
+    "hot_set_chooser",
+    "MixedWorkload",
+    "mixed_workload",
+    "uniform_two_files",
+]

@@ -1,0 +1,60 @@
+"""Steps: the unit of work inside a batch transaction.
+
+A batch transaction is a sequential execution of steps; each step reads or
+writes one whole file by scanning (Section 2 of the paper).  The I/O cost
+is in *objects* (a bulk-access unit such as a disk cylinder) at DD = 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class AccessMode(enum.Enum):
+    """Lock/access mode of a step: shared read or exclusive write."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+    @property
+    def is_write(self) -> bool:
+        return self is AccessMode.EXCLUSIVE
+
+    def conflicts_with(self, other: "AccessMode") -> bool:
+        """S/S is the only compatible pair at file granularity."""
+        return self.is_write or other.is_write
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class Step:
+    """One read or write scan of a file.
+
+    ``cost`` is the exact I/O demand in objects at DD = 1 (the simulator
+    divides by DD per cohort).  The *declared* cost may differ when the
+    Experiment-3 error model is active; declarations live on the
+    transaction, not here.
+    """
+
+    file_id: int
+    mode: AccessMode
+    cost: float
+
+    def __post_init__(self) -> None:
+        if self.file_id < 0:
+            raise ValueError(f"file_id must be >= 0, got {self.file_id}")
+        if self.cost < 0:
+            raise ValueError(f"step cost must be >= 0, got {self.cost}")
+        if not isinstance(self.mode, AccessMode):
+            raise TypeError(f"mode must be an AccessMode, got {self.mode!r}")
+
+    @property
+    def is_write(self) -> bool:
+        return self.mode.is_write
+
+    def __str__(self) -> str:
+        tag = "w" if self.is_write else "r"
+        return f"{tag}(F{self.file_id}:{self.cost:g})"

@@ -1,0 +1,78 @@
+"""Tests for paper-agreement metrics and reference data."""
+
+import pytest
+
+from repro.analysis import ordering_agreement, paper_data, ratio_spread
+
+
+class TestOrderingAgreement:
+    def test_identical_ordering(self):
+        a = {"x": 1.0, "y": 2.0, "z": 3.0}
+        assert ordering_agreement(a, a) == 1.0
+
+    def test_reversed_ordering(self):
+        measured = {"x": 1.0, "y": 2.0, "z": 3.0}
+        reference = {"x": 3.0, "y": 2.0, "z": 1.0}
+        assert ordering_agreement(measured, reference) == 0.0
+
+    def test_partial_agreement(self):
+        measured = {"x": 1.0, "y": 2.0, "z": 3.0}
+        reference = {"x": 1.0, "y": 3.0, "z": 2.0}  # y/z pair flipped
+        assert ordering_agreement(measured, reference) == pytest.approx(2 / 3)
+
+    def test_ties_count_half(self):
+        measured = {"x": 1.0, "y": 1.0}
+        reference = {"x": 1.0, "y": 2.0}
+        assert ordering_agreement(measured, reference) == 0.5
+
+    def test_needs_two_common_keys(self):
+        with pytest.raises(ValueError):
+            ordering_agreement({"x": 1.0}, {"x": 2.0})
+
+    def test_uses_only_common_keys(self):
+        measured = {"x": 1.0, "y": 2.0, "extra": 9.0}
+        reference = {"x": 1.0, "y": 2.0, "other": 0.0}
+        assert ordering_agreement(measured, reference) == 1.0
+
+
+class TestRatioSpread:
+    def test_uniform_scaling_is_one(self):
+        measured = {"x": 2.0, "y": 4.0}
+        reference = {"x": 1.0, "y": 2.0}
+        assert ratio_spread(measured, reference) == pytest.approx(1.0)
+
+    def test_spread_of_two(self):
+        measured = {"x": 1.0, "y": 4.0}
+        reference = {"x": 1.0, "y": 1.0}
+        assert ratio_spread(measured, reference) == pytest.approx(2.0)
+
+    def test_skips_bad_entries(self):
+        measured = {"x": 2.0, "y": float("nan")}
+        reference = {"x": 1.0, "y": 5.0}
+        assert ratio_spread(measured, reference) == pytest.approx(1.0)
+
+    def test_no_comparable_entries(self):
+        with pytest.raises(ValueError):
+            ratio_spread({"x": float("nan")}, {"x": 1.0})
+
+
+class TestPaperData:
+    def test_table2_shape(self):
+        assert set(paper_data.TABLE2) == {8, 16, 32, 64}
+        for row in paper_data.TABLE2.values():
+            assert set(row) == {"NODC", "ASL", "GOW", "LOW", "C2PL", "OPT"}
+
+    def test_table3_is_response_times(self):
+        # RT falls monotonically with DD for the lock-based schedulers
+        for scheduler in ("ASL", "GOW", "LOW", "C2PL+M"):
+            values = [paper_data.TABLE3[dd][scheduler] for dd in (1, 2, 4, 8)]
+            assert values == sorted(values, reverse=True)
+
+    def test_table4_low_best_lock_based(self):
+        row = paper_data.TABLE4_THROUGHPUT[1]
+        lock_based = {k: row[k] for k in ("ASL", "GOW", "LOW", "C2PL")}
+        assert max(lock_based, key=lock_based.get) == "LOW"
+
+    def test_table5_gow_less_sensitive(self):
+        for dd in (1, 2, 4):
+            assert paper_data.TABLE5["GOW"][dd] > paper_data.TABLE5["LOW"][dd]

@@ -1,0 +1,115 @@
+"""Unit tests for the text-table reporting helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis import format_cell, render_series, render_table, to_csv
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(1.23456, precision=2) == "1.23"
+        assert format_cell(1.23456, precision=4) == "1.2346"
+
+    def test_nan_renders_dash(self):
+        assert format_cell(float("nan")) == "-"
+
+    def test_inf(self):
+        assert format_cell(float("inf")) == "inf"
+
+    def test_strings_and_ints_pass_through(self):
+        assert format_cell("ASL") == "ASL"
+        assert format_cell(8) == "8"
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        text = render_table(["a", "bbb"], [[1, 2.5], [10, 3.25]])
+        lines = text.splitlines()
+        assert lines[0].endswith("bbb")
+        assert "----" in lines[1]
+        assert lines[2].split() == ["1", "2.50"]
+        assert lines[3].split() == ["10", "3.25"]
+
+    def test_title_included(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_wide_values_extend_column(self):
+        text = render_table(["x"], [["longvalue"]])
+        assert "longvalue" in text
+
+
+class TestRenderSeries:
+    def test_series_columns(self):
+        text = render_series(
+            "dd", [1, 2], {"ASL": [1.0, 2.0], "C2PL": [1.0, 1.5]}
+        )
+        lines = text.splitlines()
+        assert "ASL" in lines[0] and "C2PL" in lines[0]
+        assert lines[2].split() == ["1", "1.00", "1.00"]
+
+    def test_short_series_padded_with_nan(self):
+        text = render_series("x", [1, 2], {"s": [1.0]})
+        assert text.splitlines()[-1].split() == ["2", "-"]
+
+
+class TestCSV:
+    def test_csv_shape(self):
+        csv = to_csv(["a", "b"], [[1, 2.5]])
+        lines = csv.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.500000"
+
+    def test_nan_as_dash(self):
+        csv = to_csv(["a"], [[math.nan]])
+        assert csv.strip().splitlines()[1] == "-"
+
+
+class TestAsciiChart:
+    def chart(self, **kwargs):
+        from repro.analysis import ascii_chart
+
+        return ascii_chart(
+            [1, 2, 4, 8],
+            {"ASL": [1.0, 2.0, 4.0, 8.0], "OPT": [1.0, 1.2, 1.1, 1.0]},
+            **kwargs,
+        )
+
+    def test_contains_legend_and_glyphs(self):
+        text = self.chart(title="speedup")
+        assert "*=ASL" in text
+        assert "o=OPT" in text
+        assert "speedup" in text
+        assert "*" in text and "o" in text
+
+    def test_axis_bounds(self):
+        text = self.chart(x_label="DD")
+        assert "(DD)" in text
+        assert text.splitlines()[-1].strip().startswith("1")
+
+    def test_nan_points_skipped(self):
+        from repro.analysis import ascii_chart
+
+        text = ascii_chart([1, 2], {"s": [float("nan"), 3.0]})
+        assert "*" in text
+
+    def test_empty_rejected(self):
+        from repro.analysis import ascii_chart
+        import pytest
+
+        with pytest.raises(ValueError):
+            ascii_chart([], {"s": []})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"s": [float("nan")]})
+
+    def test_too_small_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            self.chart(width=5)

@@ -1,0 +1,117 @@
+"""Unit tests for the serializability auditor."""
+
+import pytest
+
+from repro.core import SerializabilityAuditor
+from repro.txn import AccessMode
+
+S = AccessMode.SHARED
+X = AccessMode.EXCLUSIVE
+
+
+class TestBasics:
+    def test_empty_history_serializable(self):
+        auditor = SerializabilityAuditor()
+        assert auditor.is_serializable()
+        assert auditor.committed_count == 0
+
+    def test_single_transaction(self):
+        auditor = SerializabilityAuditor()
+        auditor.record_access(1, 0, X, 10.0)
+        auditor.record_commit(1, 20.0)
+        assert auditor.is_serializable()
+
+    def test_double_commit_rejected(self):
+        auditor = SerializabilityAuditor()
+        auditor.record_commit(1, 10.0)
+        with pytest.raises(ValueError):
+            auditor.record_commit(1, 20.0)
+
+    def test_uncommitted_accesses_ignored(self):
+        """Aborted (never-committed) transactions do not create edges."""
+        auditor = SerializabilityAuditor()
+        auditor.record_access(1, 0, X, 1.0)
+        auditor.record_access(2, 0, X, 2.0)
+        auditor.record_access(1, 1, X, 3.0)
+        auditor.record_access(2, 1, X, 0.5)
+        auditor.record_commit(1, 10.0)  # 2 never commits
+        assert auditor.is_serializable()
+
+
+class TestGraphConstruction:
+    def test_conflicting_order_creates_edge(self):
+        auditor = SerializabilityAuditor()
+        auditor.record_access(1, 0, X, 1.0)
+        auditor.record_access(2, 0, X, 5.0)
+        auditor.record_commit(1, 3.0)
+        auditor.record_commit(2, 8.0)
+        graph = auditor.serialization_graph()
+        assert graph[1] == {2}
+        assert graph[2] == set()
+
+    def test_shared_accesses_no_edge(self):
+        auditor = SerializabilityAuditor()
+        auditor.record_access(1, 0, S, 1.0)
+        auditor.record_access(2, 0, S, 2.0)
+        auditor.record_commit(1, 3.0)
+        auditor.record_commit(2, 4.0)
+        graph = auditor.serialization_graph()
+        assert graph[1] == set() and graph[2] == set()
+
+    def test_cycle_detected(self):
+        auditor = SerializabilityAuditor()
+        auditor.record_access(1, 0, X, 1.0)
+        auditor.record_access(2, 0, X, 2.0)  # 1 -> 2 on file 0
+        auditor.record_access(2, 1, X, 3.0)
+        auditor.record_access(1, 1, X, 4.0)  # 2 -> 1 on file 1
+        auditor.record_commit(1, 10.0)
+        auditor.record_commit(2, 11.0)
+        assert not auditor.is_serializable()
+        cycle = auditor.find_cycle()
+        assert set(cycle) >= {1, 2}
+
+    def test_three_way_cycle(self):
+        auditor = SerializabilityAuditor()
+        pairs = [(1, 2, 0), (2, 3, 1), (3, 1, 2)]
+        t = 0.0
+        for first, second, file_id in pairs:
+            auditor.record_access(first, file_id, X, t)
+            auditor.record_access(second, file_id, X, t + 1)
+            t += 10
+        for txn_id in (1, 2, 3):
+            auditor.record_commit(txn_id, 100.0 + txn_id)
+        assert not auditor.is_serializable()
+
+    def test_simultaneous_conflicts_ordered_by_commit(self):
+        auditor = SerializabilityAuditor()
+        auditor.record_access(1, 0, X, 5.0)
+        auditor.record_access(2, 0, X, 5.0)  # same instant
+        auditor.record_commit(1, 10.0)
+        auditor.record_commit(2, 20.0)
+        graph = auditor.serialization_graph()
+        assert graph[1] == {2}
+
+
+class TestDeferredWrites:
+    def test_read_before_deferred_write_orders_by_commit(self):
+        """Under OCC a read at t=5 of a file 'written' at t=2 by a still-
+        uncommitted writer actually reads the pre-image: reader precedes
+        writer when the write only becomes visible at the later commit."""
+        auditor = SerializabilityAuditor(deferred_writes=True)
+        auditor.record_access(2, 0, X, 2.0)  # T2 writes (workspace)
+        auditor.record_access(1, 0, S, 5.0)  # T1 reads pre-image
+        auditor.record_commit(1, 6.0)
+        auditor.record_commit(2, 7.0)  # write visible here
+        graph = auditor.serialization_graph()
+        assert graph[1] == {2}
+        assert auditor.is_serializable()
+
+    def test_in_place_semantics_differ(self):
+        """Same history under in-place writes is writer-before-reader."""
+        auditor = SerializabilityAuditor(deferred_writes=False)
+        auditor.record_access(2, 0, X, 2.0)
+        auditor.record_access(1, 0, S, 5.0)
+        auditor.record_commit(1, 6.0)
+        auditor.record_commit(2, 7.0)
+        graph = auditor.serialization_graph()
+        assert graph[2] == {1}

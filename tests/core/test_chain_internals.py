@@ -1,0 +1,125 @@
+"""Focused unit tests for chain-solver internals."""
+
+import math
+
+import pytest
+
+from repro.core.chain import (
+    LEFT,
+    RIGHT,
+    ChainComponent,
+    ChainEdge,
+    _candidate_values,
+    _feasible,
+    _pareto_reduce,
+)
+
+
+def free_edge(left, right, w_right, w_left):
+    return ChainEdge(left, right, w_right, w_left, frozenset({RIGHT, LEFT}))
+
+
+def component(node_weights, edges):
+    return ChainComponent(
+        nodes=list(range(len(node_weights))),
+        node_weights=list(node_weights),
+        edges=edges,
+    )
+
+
+class TestChainEdgeValidation:
+    def test_empty_direction_set_rejected(self):
+        with pytest.raises(ValueError):
+            ChainEdge(0, 1, 1.0, 1.0, frozenset())
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ValueError):
+            ChainEdge(0, 1, 1.0, 1.0, frozenset({"up"}))
+
+
+class TestChainComponentValidation:
+    def test_weight_count_mismatch(self):
+        with pytest.raises(ValueError):
+            ChainComponent(nodes=[0, 1], node_weights=[1.0], edges=[])
+
+    def test_edge_count_mismatch(self):
+        with pytest.raises(ValueError):
+            ChainComponent(nodes=[0, 1], node_weights=[1.0, 1.0], edges=[])
+
+
+class TestParetoReduce:
+    def test_keeps_non_dominated(self):
+        frontier = _pareto_reduce([(1.0, 5.0), (2.0, 3.0), (3.0, 1.0)])
+        assert frontier == [(1.0, 5.0), (2.0, 3.0), (3.0, 1.0)]
+
+    def test_drops_dominated(self):
+        frontier = _pareto_reduce([(1.0, 1.0), (2.0, 2.0), (3.0, 1.5)])
+        assert frontier == [(1.0, 1.0)]
+
+    def test_equal_m_keeps_smaller_cum(self):
+        frontier = _pareto_reduce([(2.0, 3.0), (1.0, 3.0)])
+        assert frontier == [(1.0, 3.0)]
+
+    def test_empty(self):
+        assert _pareto_reduce([]) == []
+
+
+class TestCandidateValues:
+    def test_single_node(self):
+        comp = component([4.0], [])
+        assert _candidate_values(comp) == [4.0]
+
+    def test_includes_node_weights_and_path_sums(self):
+        comp = component([1.0, 2.0], [free_edge(0, 1, 10.0, 20.0)])
+        values = _candidate_values(comp)
+        # node weights 1, 2; rightward 1+10 = 11; leftward 2+20 = 22
+        assert set(values) == {1.0, 2.0, 11.0, 22.0}
+
+    def test_respects_direction_constraints(self):
+        comp = component(
+            [1.0, 2.0],
+            [ChainEdge(0, 1, 10.0, math.nan, frozenset({RIGHT}))],
+        )
+        values = _candidate_values(comp)
+        assert 11.0 in values
+        assert all(not math.isnan(v) for v in values)
+
+    def test_sorted_output(self):
+        comp = component(
+            [3.0, 1.0, 2.0],
+            [free_edge(0, 1, 1.0, 1.0), free_edge(1, 2, 1.0, 1.0)],
+        )
+        values = _candidate_values(comp)
+        assert values == sorted(values)
+
+
+class TestFeasibility:
+    def test_single_node_threshold(self):
+        comp = component([4.0], [])
+        assert _feasible(comp, 4.0)
+        assert not _feasible(comp, 3.9)
+
+    def test_two_node_choice(self):
+        # right: max(1+5, 1) = 6; left: max(1+2, 1) = 3
+        comp = component([1.0, 1.0], [free_edge(0, 1, 5.0, 2.0)])
+        assert _feasible(comp, 3.0)
+        assert not _feasible(comp, 2.9)
+        assert _feasible(comp, 6.0)
+
+    def test_forced_direction_changes_feasibility(self):
+        comp = component([1.0, 1.0], [free_edge(0, 1, 5.0, 2.0)])
+        # forcing RIGHT makes 3.0 infeasible
+        assert not _feasible(comp, 3.0, forced={0: RIGHT})
+        assert _feasible(comp, 6.0, forced={0: RIGHT})
+
+    def test_forcing_direction_not_allowed_is_infeasible(self):
+        comp = component(
+            [1.0, 1.0],
+            [ChainEdge(0, 1, 5.0, math.nan, frozenset({RIGHT}))],
+        )
+        assert not _feasible(comp, 100.0, forced={0: LEFT})
+
+    def test_node_weight_alone_bounds_theta(self):
+        comp = component([9.0, 1.0], [free_edge(0, 1, 0.0, 0.0)])
+        assert not _feasible(comp, 8.0)
+        assert _feasible(comp, 9.0)

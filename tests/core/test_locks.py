@@ -1,0 +1,106 @@
+"""Unit tests for the file-granule lock table."""
+
+import pytest
+
+from repro.core import LockError, LockTable
+from repro.txn import AccessMode
+
+S = AccessMode.SHARED
+X = AccessMode.EXCLUSIVE
+
+
+@pytest.fixture
+def table():
+    return LockTable(num_files=4)
+
+
+class TestConstruction:
+    def test_needs_at_least_one_file(self):
+        with pytest.raises(ValueError):
+            LockTable(0)
+
+    def test_out_of_range_file(self, table):
+        with pytest.raises(ValueError):
+            table.is_compatible(4, S)
+        with pytest.raises(ValueError):
+            table.is_compatible(-1, S)
+
+
+class TestCompatibility:
+    def test_free_lock_compatible_with_anything(self, table):
+        assert table.is_compatible(0, S)
+        assert table.is_compatible(0, X)
+
+    def test_shared_holders_admit_shared(self, table):
+        table.grant(1, 0, S)
+        table.grant(2, 0, S)
+        assert table.is_compatible(0, S)
+        assert len(table.holders(0)) == 2
+
+    def test_shared_holder_blocks_exclusive(self, table):
+        table.grant(1, 0, S)
+        assert not table.is_compatible(0, X)
+
+    def test_exclusive_holder_blocks_everything(self, table):
+        table.grant(1, 0, X)
+        assert not table.is_compatible(0, S)
+        assert not table.is_compatible(0, X)
+
+
+class TestGrantRelease:
+    def test_grant_records_holder_and_mode(self, table):
+        table.grant(1, 2, X)
+        assert table.holds(1, 2)
+        assert table.mode_of(2) is X
+        assert table.holders(2) == {1}
+
+    def test_incompatible_grant_raises(self, table):
+        table.grant(1, 0, X)
+        with pytest.raises(LockError):
+            table.grant(2, 0, S)
+
+    def test_double_grant_raises(self, table):
+        table.grant(1, 0, S)
+        with pytest.raises(LockError):
+            table.grant(1, 0, S)
+
+    def test_upgrade_rejected(self, table):
+        """Transactions request their strongest mode up front; the table
+        treats a second grant (even stronger) as a bug."""
+        table.grant(1, 0, S)
+        with pytest.raises(LockError):
+            table.grant(1, 0, X)
+
+    def test_release_frees_lock(self, table):
+        table.grant(1, 0, X)
+        table.release(1, 0)
+        assert table.mode_of(0) is None
+        assert table.is_compatible(0, X)
+
+    def test_release_unheld_raises(self, table):
+        with pytest.raises(LockError):
+            table.release(1, 0)
+
+    def test_partial_release_keeps_mode(self, table):
+        table.grant(1, 0, S)
+        table.grant(2, 0, S)
+        table.release(1, 0)
+        assert table.mode_of(0) is S
+        assert table.holders(0) == {2}
+
+    def test_release_all(self, table):
+        table.grant(1, 0, X)
+        table.grant(1, 2, S)
+        table.grant(2, 3, X)
+        released = table.release_all(1)
+        assert sorted(released) == [0, 2]
+        assert not table.holds(1, 0)
+        assert table.holds(2, 3)
+
+    def test_release_all_with_nothing_held(self, table):
+        assert table.release_all(9) == []
+
+    def test_files_held_by(self, table):
+        table.grant(1, 1, S)
+        table.grant(1, 3, X)
+        assert table.files_held_by(1) == [1, 3]

@@ -1,0 +1,285 @@
+"""Hypothesis property tests on the core data structures.
+
+These complement the example-based tests with randomized invariants:
+the WTPG never contains a precedence cycle while driven through its
+public grant API, weights follow the declared-cost arithmetic, the lock
+table conserves holders, and randomized mini-simulations stay
+serializable and conserve transactions.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import LockTable, SerializabilityAuditor, WTPG
+from repro.machine import MachineConfig
+from repro.sim.simulation import Simulation
+from repro.txn import AccessMode, BatchTransaction, Step
+from repro.txn.workload import Workload
+from repro.txn.pattern import Pattern, PatternStep
+
+
+# -- strategies ---------------------------------------------------------------
+
+def txn_strategy(txn_id, num_files=4):
+    """A random batch transaction over a small file pool."""
+    step = st.tuples(
+        st.integers(min_value=0, max_value=num_files - 1),
+        st.sampled_from([AccessMode.SHARED, AccessMode.EXCLUSIVE]),
+        st.floats(min_value=0.0, max_value=5.0),
+    )
+    return st.lists(step, min_size=1, max_size=4).map(
+        lambda steps: BatchTransaction(
+            txn_id,
+            [Step(f, m, c) for f, m, c in steps],
+            arrival_time=0.0,
+        )
+    )
+
+
+class TestWTPGInvariants:
+    @settings(max_examples=150, deadline=None)
+    @given(data=st.data(), n=st.integers(min_value=2, max_value=5))
+    def test_grants_never_create_cycles(self, data, n):
+        """Drive a WTPG through add/grant in random order; whenever
+        creates_cycle says a grant is safe, applying it must keep the
+        precedence relation acyclic (critical path stays finite)."""
+        wtpg = WTPG()
+        txns = [data.draw(txn_strategy(i), label=f"txn{i}") for i in range(n)]
+        for txn in txns:
+            wtpg.add_transaction(txn)
+        requests = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=3),
+                ),
+                max_size=12,
+            ),
+            label="requests",
+        )
+        for txn_index, file_id in requests:
+            txn = txns[txn_index]
+            if file_id not in txn.read_set:
+                continue
+            fixes = wtpg.fixes_for_grant(txn.txn_id, file_id)
+            if wtpg.creates_cycle(fixes):
+                continue  # a real scheduler would delay
+            wtpg.grant(txn.txn_id, file_id)
+            assert not math.isinf(wtpg.critical_path_length())
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data())
+    def test_conflict_edges_match_declared_conflicts(self, data):
+        wtpg = WTPG()
+        a = data.draw(txn_strategy(1))
+        b = data.draw(txn_strategy(2))
+        wtpg.add_transaction(a)
+        wtpg.add_transaction(b)
+        assert wtpg.has_conflict_edge(1, 2) == a.conflicts_with(b)
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data())
+    def test_edge_weights_equal_remaining_cost_from_blocked_step(self, data):
+        wtpg = WTPG()
+        a = data.draw(txn_strategy(1))
+        b = data.draw(txn_strategy(2))
+        wtpg.add_transaction(a)
+        wtpg.add_transaction(b)
+        if not a.conflicts_with(b):
+            return
+        edge = wtpg.conflict_edge(1, 2)
+        expected_ab = b.declared_cost_from_step(b.blocked_step_against(a))
+        expected_ba = a.declared_cost_from_step(a.blocked_step_against(b))
+        assert edge.weight(1, 2) == expected_ab
+        assert edge.weight(2, 1) == expected_ba
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data(), n=st.integers(min_value=1, max_value=5))
+    def test_removal_leaves_no_dangling_edges(self, data, n):
+        wtpg = WTPG()
+        txns = [data.draw(txn_strategy(i)) for i in range(n)]
+        for txn in txns:
+            wtpg.add_transaction(txn)
+        for txn in txns:
+            wtpg.remove_transaction(txn.txn_id)
+            assert txn.txn_id not in wtpg
+            for edge in wtpg.conflict_edges():
+                assert txn.txn_id not in (edge.a, edge.b)
+            for (i, j) in wtpg.precedence_edges():
+                assert txn.txn_id not in (i, j)
+        assert len(wtpg) == 0
+
+
+class TestLockTableInvariants:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["grant", "release"]),
+                st.integers(min_value=1, max_value=4),  # txn
+                st.integers(min_value=0, max_value=3),  # file
+                st.sampled_from([AccessMode.SHARED, AccessMode.EXCLUSIVE]),
+            ),
+            max_size=30,
+        )
+    )
+    def test_mode_consistency_under_random_ops(self, ops):
+        """Apply random (legal) grants/releases; the table must always
+        satisfy: X-held files have exactly one holder, S-held files have
+        >= 1, free files have mode None."""
+        table = LockTable(4)
+        for op, txn, file_id, mode in ops:
+            if op == "grant":
+                if table.is_compatible(file_id, mode) and not table.holds(
+                    txn, file_id
+                ):
+                    table.grant(txn, file_id, mode)
+            else:
+                if table.holds(txn, file_id):
+                    table.release(txn, file_id)
+            for f in range(4):
+                holders = table.holders(f)
+                held_mode = table.mode_of(f)
+                if not holders:
+                    assert held_mode is None
+                elif held_mode is AccessMode.EXCLUSIVE:
+                    assert len(holders) == 1
+                else:
+                    assert held_mode is AccessMode.SHARED
+
+
+def tiny_workload(rate, num_files, write_heavy):
+    """A 2-step workload over a small pool (hypothesis-driven shape)."""
+    mode = AccessMode.EXCLUSIVE if write_heavy else AccessMode.SHARED
+    pattern = Pattern(
+        [
+            PatternStep("A", AccessMode.EXCLUSIVE, 1.0),
+            PatternStep("B", mode, 2.0),
+        ]
+    )
+
+    def choose(streams):
+        a, b = streams.sample_without_replacement("files", range(num_files), 2)
+        return {"A": a, "B": b}
+
+    return Workload(pattern, choose, rate, name="tiny")
+
+
+class TestSimulationInvariants:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        scheduler=st.sampled_from(["ASL", "C2PL", "LOW", "GOW", "2PL"]),
+        seed=st.integers(min_value=0, max_value=1000),
+        write_heavy=st.booleans(),
+    )
+    def test_random_runs_serializable_and_conserving(
+        self, scheduler, seed, write_heavy
+    ):
+        auditor = SerializabilityAuditor()
+        sim = Simulation(
+            MachineConfig(num_files=6, dd=1),
+            tiny_workload(0.8, 6, write_heavy),
+            scheduler=scheduler,
+            seed=seed,
+            duration_ms=80_000,
+            auditor=auditor,
+        )
+        result = sim.run()
+        # conservation: commits counted == auditor commits == metric
+        assert result.completed == auditor.committed_count
+        # serializability for every real scheduler
+        assert auditor.is_serializable(), (
+            scheduler,
+            seed,
+            auditor.find_cycle(),
+        )
+        # no lingering lock holders beyond in-flight transactions
+        held = {
+            holder
+            for f in range(6)
+            for holder in sim.scheduler.lock_table.holders(f)
+        }
+        assert len(held) <= result.in_flight_at_end + 1
+
+
+class TestWTPGMaintainedState:
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data(), n=st.integers(min_value=2, max_value=6))
+    def test_invariants_hold_under_random_driving(self, data, n):
+        """Adjacency mirrors the edge dicts and the level invariant
+        (level(u) < level(v) per edge) survives adds, grants, removals."""
+        wtpg = WTPG()
+        txns = [data.draw(txn_strategy(i), label=f"txn{i}") for i in range(n)]
+        alive = []
+        ops = data.draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["add", "grant", "remove"]),
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=3),
+                ),
+                max_size=25,
+            ),
+            label="ops",
+        )
+        for op, index, file_id in ops:
+            txn = txns[index]
+            if op == "add" and txn.txn_id not in wtpg:
+                wtpg.add_transaction(txn)
+                alive.append(txn.txn_id)
+            elif op == "grant" and txn.txn_id in wtpg:
+                if file_id in txn.read_set:
+                    fixes = wtpg.fixes_for_grant(txn.txn_id, file_id)
+                    if not wtpg.creates_cycle(fixes):
+                        wtpg.grant(txn.txn_id, file_id)
+            elif op == "remove" and txn.txn_id in wtpg:
+                wtpg.remove_transaction(txn.txn_id)
+                alive.remove(txn.txn_id)
+            wtpg.check_invariants()
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data(), n=st.integers(min_value=2, max_value=5))
+    def test_level_pruned_path_query_matches_exhaustive_search(self, data, n):
+        """has_path (level-pruned) agrees with a naive DFS over the
+        precedence edges."""
+        wtpg = WTPG()
+        txns = [data.draw(txn_strategy(i)) for i in range(n)]
+        for txn in txns:
+            wtpg.add_transaction(txn)
+        grants = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=3),
+                ),
+                max_size=10,
+            )
+        )
+        for index, file_id in grants:
+            txn = txns[index]
+            if file_id in txn.read_set:
+                fixes = wtpg.fixes_for_grant(txn.txn_id, file_id)
+                if not wtpg.creates_cycle(fixes):
+                    wtpg.grant(txn.txn_id, file_id)
+
+        def naive_has_path(src, dst):
+            if src == dst:
+                return True
+            seen, stack = {src}, [src]
+            while stack:
+                node = stack.pop()
+                for (i, j) in wtpg.precedence_edges():
+                    if i == node and j not in seen:
+                        if j == dst:
+                            return True
+                        seen.add(j)
+                        stack.append(j)
+            return False
+
+        for src in range(n):
+            for dst in range(n):
+                assert wtpg.has_path(src, dst) == naive_has_path(src, dst), (
+                    src,
+                    dst,
+                )

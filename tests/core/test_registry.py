@@ -1,0 +1,69 @@
+"""Tests for the scheduler registry."""
+
+import pytest
+
+from repro.core import (
+    C2PLScheduler,
+    LOWScheduler,
+    PAPER_SCHEDULERS,
+    available,
+    create,
+    register,
+)
+from repro.core.registry import _FACTORIES
+from repro.des import Environment
+from repro.machine import ControlNode, MachineConfig
+
+
+@pytest.fixture
+def ctx():
+    env = Environment()
+    config = MachineConfig()
+    return env, config, ControlNode(env, config)
+
+
+class TestRegistry:
+    def test_paper_schedulers_all_registered(self):
+        for name in PAPER_SCHEDULERS:
+            assert name in available()
+
+    def test_create_by_name(self, ctx):
+        scheduler = create("C2PL", *ctx)
+        assert isinstance(scheduler, C2PLScheduler)
+
+    def test_name_is_case_insensitive(self, ctx):
+        assert isinstance(create("c2pl", *ctx), C2PLScheduler)
+
+    def test_default_low_uses_k2(self, ctx):
+        scheduler = create("LOW", *ctx)
+        assert isinstance(scheduler, LOWScheduler)
+        assert scheduler.k == 2
+
+    def test_parameterised_low(self, ctx):
+        scheduler = create("LOW(K=5)", *ctx)
+        assert scheduler.k == 5
+        assert scheduler.name == "LOW(K=5)"
+
+    def test_low_k_zero(self, ctx):
+        assert create("LOW(K=0)", *ctx).k == 0
+
+    def test_c2pl_plus_m_alias(self, ctx):
+        assert isinstance(create("C2PL+M", *ctx), C2PLScheduler)
+
+    def test_unknown_name_raises(self, ctx):
+        with pytest.raises(KeyError):
+            create("FANCY", *ctx)
+
+    def test_register_custom(self, ctx):
+        class Custom(C2PLScheduler):
+            name = "CUSTOM"
+
+        register("CUSTOM", Custom)
+        try:
+            assert isinstance(create("CUSTOM", *ctx), Custom)
+        finally:
+            _FACTORIES.pop("CUSTOM", None)
+
+    def test_available_sorted(self):
+        names = available()
+        assert names == sorted(names)

@@ -1,0 +1,349 @@
+"""Behavioural unit tests for each scheduler, driven by tiny simulations.
+
+These tests exercise each policy's characteristic decisions through the
+real lifecycle (admission, lock requests, commit) with deterministic
+mini-workloads, rather than poking internal methods.
+"""
+
+import pytest
+
+from repro.core import (
+    ASLScheduler,
+    C2PLScheduler,
+    GOWScheduler,
+    LOWScheduler,
+    NODCScheduler,
+    OPTScheduler,
+)
+from repro.des import Environment
+from repro.machine import ControlNode, MachineConfig
+from repro.txn import AccessMode, BatchTransaction, Step
+
+
+def make_txn(txn_id, spec, arrival=0.0):
+    steps = [
+        Step(f, AccessMode.EXCLUSIVE if op == "w" else AccessMode.SHARED, c)
+        for f, op, c in spec
+    ]
+    return BatchTransaction(txn_id, steps, arrival)
+
+
+class Harness:
+    """Drives scheduler lifecycles as simulation processes."""
+
+    def __init__(self, scheduler_cls, config=None, **scheduler_kwargs):
+        self.env = Environment()
+        self.config = config or MachineConfig(retry_delay_ms=50.0)
+        self.cn = ControlNode(self.env, self.config)
+        self.scheduler = scheduler_cls(
+            self.env, self.config, self.cn, **scheduler_kwargs
+        )
+        self.trace = []
+
+    def lifecycle(self, txn, hold_ms=100.0):
+        """Admit, acquire each file at first need, hold, then commit."""
+
+        def proc():
+            yield from self.scheduler.admit(txn)
+            self.trace.append((self.env.now, "admitted", txn.txn_id))
+            for file_id in txn.files:
+                yield from self.scheduler.acquire(txn, file_id)
+                self.trace.append((self.env.now, "locked", txn.txn_id, file_id))
+            yield self.env.timeout(hold_ms)
+            if self.scheduler.validate_at_commit(txn):
+                yield from self.scheduler.commit(txn)
+                self.trace.append((self.env.now, "committed", txn.txn_id))
+            else:
+                yield from self.scheduler.abort(txn)
+                self.trace.append((self.env.now, "aborted", txn.txn_id))
+
+        return self.env.process(proc(), name=f"txn-{txn.txn_id}")
+
+    def run(self, until=None):
+        self.env.run(until=until)
+
+    def events(self, kind):
+        return [t for t in self.trace if t[1] == kind]
+
+
+class TestNODC:
+    def test_everything_granted_immediately(self):
+        h = Harness(NODCScheduler)
+        h.lifecycle(make_txn(1, [(0, "w", 1.0)]))
+        h.lifecycle(make_txn(2, [(0, "w", 1.0)]))
+        h.run()
+        # both hold "locks" on file 0 simultaneously: committed at same time
+        commits = h.events("committed")
+        assert len(commits) == 2
+        assert commits[0][0] == commits[1][0] == pytest.approx(100.0)
+
+
+class TestASL:
+    def test_all_locks_at_start(self):
+        h = Harness(ASLScheduler)
+        t = make_txn(1, [(0, "r", 1.0), (1, "w", 1.0)])
+        h.lifecycle(t)
+        h.run()
+        admitted = h.events("admitted")[0][0]
+        locked = [e[0] for e in h.events("locked")]
+        assert all(when == admitted for when in locked)
+
+    def test_conflicting_transaction_waits_for_commit(self):
+        h = Harness(ASLScheduler)
+        h.lifecycle(make_txn(1, [(0, "w", 1.0)]), hold_ms=100)
+        h.lifecycle(make_txn(2, [(0, "w", 1.0)]), hold_ms=100)
+        h.run()
+        admits = {e[2]: e[0] for e in h.events("admitted")}
+        assert admits[1] == 0.0
+        assert admits[2] == pytest.approx(100.0)  # at T1's commit
+
+    def test_partial_overlap_blocks_whole_set(self):
+        """T2 needs files {1, 2}; T1 holds 1: T2 gets *neither* lock."""
+        h = Harness(ASLScheduler)
+        h.lifecycle(make_txn(1, [(1, "w", 1.0)]), hold_ms=100)
+        h.lifecycle(make_txn(2, [(1, "w", 1.0), (2, "w", 1.0)]), hold_ms=10)
+        h.run(until=50)
+        assert not h.scheduler.lock_table.holders(2)
+
+    def test_nonconflicting_start_together(self):
+        h = Harness(ASLScheduler)
+        h.lifecycle(make_txn(1, [(0, "w", 1.0)]))
+        h.lifecycle(make_txn(2, [(1, "w", 1.0)]))
+        h.run()
+        admits = [e[0] for e in h.events("admitted")]
+        assert admits == [0.0, 0.0]
+
+    def test_greedy_skip_over_small_transaction(self):
+        """A newcomer whose locks are free starts even while an older
+        transaction is still waiting (no head-of-line blocking)."""
+        h = Harness(ASLScheduler)
+        h.lifecycle(make_txn(1, [(0, "w", 1.0)]), hold_ms=200)
+        h.lifecycle(make_txn(2, [(0, "w", 1.0), (5, "w", 1.0)]), hold_ms=10)
+        h.lifecycle(make_txn(3, [(7, "w", 1.0)]), hold_ms=10)
+        h.run()
+        admits = {e[2]: e[0] for e in h.events("admitted")}
+        assert admits[3] == 0.0  # did not queue behind T2
+
+
+class TestC2PL:
+    def test_incremental_locking(self):
+        """Unlike ASL, C2PL locks at each step's first need."""
+        h = Harness(C2PLScheduler)
+        h.lifecycle(make_txn(1, [(0, "w", 1.0)]), hold_ms=100)
+        h.lifecycle(make_txn(2, [(1, "w", 1.0), (0, "w", 1.0)]), hold_ms=10)
+        h.run(until=50)
+        # T2 admitted and holds file 1 while blocked on file 0
+        assert h.scheduler.lock_table.holds(2, 1)
+        assert not h.scheduler.lock_table.holds(2, 0)
+
+    def test_deadlock_avoided_by_delay(self):
+        """T1: A then B; T2: B then A.  Cautious C2PL must not deadlock."""
+        h = Harness(C2PLScheduler)
+        t1 = make_txn(1, [(0, "w", 1.0), (1, "w", 1.0)])
+        t2 = make_txn(2, [(1, "w", 1.0), (0, "w", 1.0)])
+        h.lifecycle(t1, hold_ms=50)
+        h.lifecycle(t2, hold_ms=50)
+        h.run()
+        assert len(h.events("committed")) == 2
+
+    def test_blocked_request_granted_on_release(self):
+        h = Harness(C2PLScheduler)
+        h.lifecycle(make_txn(1, [(0, "w", 1.0)]), hold_ms=100)
+        h.lifecycle(make_txn(2, [(0, "w", 1.0)]), hold_ms=50)
+        h.run()
+        commits = {e[2]: e[0] for e in h.events("committed")}
+        assert commits[2] > commits[1]
+
+    def test_mpl_gate_limits_active_transactions(self):
+        config = MachineConfig(mpl=1, retry_delay_ms=50.0)
+        h = Harness(C2PLScheduler, config=config)
+        h.lifecycle(make_txn(1, [(0, "w", 1.0)]), hold_ms=100)
+        h.lifecycle(make_txn(2, [(1, "w", 1.0)]), hold_ms=100)
+        h.run()
+        admits = {e[2]: e[0] for e in h.events("admitted")}
+        # non-conflicting, but MPL=1 serialises them
+        assert admits[2] >= 100.0
+
+
+class TestOPT:
+    def test_no_locks_taken(self):
+        h = Harness(OPTScheduler)
+        t = make_txn(1, [(0, "w", 1.0)])
+        h.lifecycle(t)
+        h.run()
+        assert h.scheduler.lock_table.files_held_by(1) == []
+
+    def test_validation_fails_on_concurrent_conflicting_commit(self):
+        h = Harness(OPTScheduler)
+        h.lifecycle(make_txn(1, [(0, "w", 1.0)]), hold_ms=50)
+        h.lifecycle(make_txn(2, [(0, "w", 1.0)]), hold_ms=100)
+        h.run()
+        assert [e[2] for e in h.events("committed")] == [1]
+        assert [e[2] for e in h.events("aborted")] == [2]
+
+    def test_validation_passes_without_conflicts(self):
+        h = Harness(OPTScheduler)
+        h.lifecycle(make_txn(1, [(0, "w", 1.0)]), hold_ms=50)
+        h.lifecycle(make_txn(2, [(1, "w", 1.0)]), hold_ms=100)
+        h.run()
+        assert len(h.events("committed")) == 2
+
+    def test_read_read_overlap_is_fine(self):
+        h = Harness(OPTScheduler)
+        h.lifecycle(make_txn(1, [(0, "r", 1.0)]), hold_ms=50)
+        h.lifecycle(make_txn(2, [(0, "r", 1.0)]), hold_ms=100)
+        h.run()
+        assert len(h.events("committed")) == 2
+
+    def test_writer_committing_during_reader_aborts_reader(self):
+        h = Harness(OPTScheduler)
+        h.lifecycle(make_txn(1, [(0, "w", 1.0)]), hold_ms=50)  # writer
+        h.lifecycle(make_txn(2, [(0, "r", 1.0)]), hold_ms=100)  # reader
+        h.run()
+        assert [e[2] for e in h.events("aborted")] == [2]
+
+
+class TestLOW:
+    def test_k_conflict_limits_admission(self):
+        """With K=0 no two conflicting transactions may be active."""
+        h = Harness(LOWScheduler, k=0)
+        h.lifecycle(make_txn(1, [(0, "w", 1.0)]), hold_ms=100)
+        h.lifecycle(make_txn(2, [(0, "w", 1.0)]), hold_ms=10)
+        h.run()
+        admits = {e[2]: e[0] for e in h.events("admitted")}
+        assert admits[2] >= 100.0
+
+    def test_k2_admits_up_to_three_conflicting_writers(self):
+        h = Harness(LOWScheduler, k=2)
+        for txn_id in (1, 2, 3, 4):
+            h.lifecycle(make_txn(txn_id, [(0, "w", 1.0)]), hold_ms=100)
+        h.run(until=99)
+        admitted = {e[2] for e in h.events("admitted")}
+        assert admitted == {1, 2, 3}  # the 4th exceeds every |C(q)| <= 2
+
+    def test_prefers_cheap_transaction(self):
+        """E discriminates when the conflict sits at the heavy
+        transaction's *last* step: granting heavy makes the path
+        T0 -> heavy -> light (50 + 1 = 51) while granting light leaves
+        max(T0 -> heavy, T0 -> light -> heavy) = 50, so heavy is delayed
+        even though it asked first."""
+        h = Harness(LOWScheduler, k=2)
+        heavy = make_txn(1, [(9, "w", 49.0), (0, "w", 1.0)])
+        light = make_txn(2, [(0, "w", 1.0)])
+
+        def driver():
+            yield from h.scheduler.admit(heavy)
+            yield from h.scheduler.admit(light)
+            # heavy asks first but E(q_heavy) > E(p_light): delayed
+            yield from h.scheduler.acquire(heavy, 0)
+            h.trace.append((h.env.now, "locked", 1, 0))
+
+        def light_driver():
+            yield h.env.timeout(10)
+            yield from h.scheduler.acquire(light, 0)
+            h.trace.append((h.env.now, "locked", 2, 0))
+            yield h.env.timeout(10)
+            yield from h.scheduler.commit(light)
+
+        h.env.process(driver())
+        h.env.process(light_driver())
+        h.run(until=2000)
+        locked = [(e[2], e[0]) for e in h.events("locked")]
+        assert locked[0][0] == 2  # light got the lock first
+
+    def test_negative_k_rejected(self):
+        env = Environment()
+        config = MachineConfig()
+        cn = ControlNode(env, config)
+        with pytest.raises(ValueError):
+            LOWScheduler(env, config, cn, k=-1)
+
+    def test_deadlock_free_crossing_pattern(self):
+        h = Harness(LOWScheduler, k=2)
+        h.lifecycle(make_txn(1, [(0, "w", 1.0), (1, "w", 1.0)]), hold_ms=50)
+        h.lifecycle(make_txn(2, [(1, "w", 1.0), (0, "w", 1.0)]), hold_ms=50)
+        h.run()
+        assert len(h.events("committed")) == 2
+
+
+class TestGOW:
+    def test_chain_breaking_start_rejected_until_commit(self):
+        """A newcomer conflicting with the middle of a chain is aborted at
+        Phase 0 and admitted only after the chain shrinks."""
+        h = Harness(GOWScheduler)
+        h.lifecycle(make_txn(1, [(0, "w", 1.0)]), hold_ms=100)
+        h.lifecycle(make_txn(2, [(0, "w", 1.0), (1, "w", 1.0)]), hold_ms=100)
+        h.lifecycle(make_txn(3, [(1, "w", 1.0), (2, "w", 1.0)]), hold_ms=100)
+        # newcomer conflicts with T2 (file 0) and T3 (file 2): breaks chain
+        h.lifecycle(make_txn(4, [(0, "w", 1.0), (2, "w", 1.0)]), hold_ms=10)
+        h.run(until=90)
+        admitted = {e[2] for e in h.events("admitted")}
+        assert 4 not in admitted
+        assert h.scheduler.stats.admission_rejections.total >= 1
+        h.run()
+        assert len(h.events("committed")) == 4
+
+    def test_deadlock_free_crossing_pattern(self):
+        h = Harness(GOWScheduler)
+        h.lifecycle(make_txn(1, [(0, "w", 1.0), (1, "w", 1.0)]), hold_ms=50)
+        h.lifecycle(make_txn(2, [(1, "w", 1.0), (0, "w", 1.0)]), hold_ms=50)
+        h.run()
+        assert len(h.events("committed")) == 2
+
+    def test_grant_consistent_with_optimal_order(self):
+        """The cheap transaction's conflicting request wins; the heavy
+        one (conflicting at its last step, making the orientations
+        asymmetric) is delayed until the cheap one commits."""
+        h = Harness(GOWScheduler)
+        heavy = make_txn(1, [(9, "w", 49.0), (0, "w", 1.0)])
+        light = make_txn(2, [(0, "w", 1.0)])
+
+        def heavy_driver():
+            yield from h.scheduler.admit(heavy)
+            yield h.env.timeout(5)  # let light be admitted first
+            yield from h.scheduler.acquire(heavy, 0)
+            h.trace.append((h.env.now, "locked", 1, 0))
+            yield from h.scheduler.commit(heavy)
+
+        def light_driver():
+            yield from h.scheduler.admit(light)
+            yield h.env.timeout(10)
+            yield from h.scheduler.acquire(light, 0)
+            h.trace.append((h.env.now, "locked", 2, 0))
+            yield h.env.timeout(10)
+            yield from h.scheduler.commit(light)
+
+        h.env.process(heavy_driver())
+        h.env.process(light_driver())
+        h.run(until=2000)
+        locked = [(e[2], e[0]) for e in h.events("locked")]
+        assert locked and locked[0][0] == 2
+
+
+class TestStatsAndCPU:
+    def test_gow_charges_toptime_and_chaintime(self):
+        h = Harness(GOWScheduler)
+        h.lifecycle(make_txn(1, [(0, "w", 1.0)]))
+        h.run()
+        assert h.cn.cpu_ms_by_category.get("cc-gow", 0) >= (
+            h.config.toptime_ms + h.config.chaintime_ms
+        )
+
+    def test_low_charges_kwtpgtime(self):
+        h = Harness(LOWScheduler, k=2)
+        h.lifecycle(make_txn(1, [(0, "w", 1.0)]))
+        h.run()
+        assert h.cn.cpu_ms_by_category.get("cc-low", 0) >= h.config.kwtpgtime_ms
+
+    def test_c2pl_charges_ddtime(self):
+        h = Harness(C2PLScheduler)
+        h.lifecycle(make_txn(1, [(0, "w", 1.0)]))
+        h.run()
+        assert h.cn.cpu_ms_by_category.get("cc-c2pl", 0) >= h.config.ddtime_ms
+
+    def test_commit_counters(self):
+        h = Harness(C2PLScheduler)
+        h.lifecycle(make_txn(1, [(0, "w", 1.0)]))
+        h.run()
+        assert h.scheduler.stats.commits.total == 1
+        assert h.scheduler.active_count == 0

@@ -1,0 +1,248 @@
+"""Unit tests for the WTPG, including the paper's own examples."""
+
+import math
+
+import pytest
+
+from repro.core import WTPG
+from repro.txn import AccessMode, BatchTransaction, Step
+
+
+def txn(txn_id, spec, arrival=0.0):
+    """spec: list of (file, 'r'|'w', cost)."""
+    steps = [
+        Step(f, AccessMode.EXCLUSIVE if op == "w" else AccessMode.SHARED, c)
+        for f, op, c in spec
+    ]
+    return BatchTransaction(txn_id, steps, arrival)
+
+
+# Files named after the paper's Fig. 2: A=0, B=1, C=2.
+A, B, C = 0, 1, 2
+
+
+@pytest.fixture
+def fig2():
+    """Fig. 2: T1 = r1(A:1) -> r1(B:3) -> w1(A:1);
+    T2 = r2(C:1) -> w2(A:1) -> w2(C:1); both just started."""
+    wtpg = WTPG()
+    t1 = txn(1, [(A, "r", 1.0), (B, "r", 3.0), (A, "w", 1.0)])
+    t2 = txn(2, [(C, "r", 1.0), (A, "w", 1.0), (C, "w", 1.0)])
+    wtpg.add_transaction(t1)
+    wtpg.add_transaction(t2)
+    return wtpg, t1, t2
+
+
+class TestFig2Example:
+    def test_conflict_edge_created(self, fig2):
+        wtpg, t1, t2 = fig2
+        assert wtpg.has_conflict_edge(1, 2)
+        assert len(wtpg.conflict_edges()) == 1
+
+    def test_edge_weights_match_paper(self, fig2):
+        """The paper: {T1 -> T2} has weight 2 (T2 blocked at w2(A:1) has
+        w2(A:1) + w2(C:1) = 2 objects left); {T2 -> T1} has weight 5
+        (T1 blocked at its first step r1(A:1), 1+3+1 = 5 left)."""
+        wtpg, t1, t2 = fig2
+        edge = wtpg.conflict_edge(1, 2)
+        assert edge.weight(1, 2) == pytest.approx(2.0)
+        assert edge.weight(2, 1) == pytest.approx(5.0)
+
+    def test_t0_weights_are_full_remaining_cost(self, fig2):
+        """Fig. 2-(b): {T0 -> T1} weighs 5, {T0 -> T2} weighs 3."""
+        wtpg, t1, t2 = fig2
+        assert wtpg.t0_weight(1) == pytest.approx(5.0)
+        assert wtpg.t0_weight(2) == pytest.approx(3.0)
+
+    def test_t0_weight_adjusts_with_progress(self, fig2):
+        wtpg, t1, t2 = fig2
+        t1.advance()  # finished r1(A:1)
+        assert wtpg.t0_weight(1) == pytest.approx(4.0)
+
+    def test_critical_path_before_any_fixes(self, fig2):
+        """With only conflict edges the critical path is max T0 weight."""
+        wtpg, _, _ = fig2
+        assert wtpg.critical_path_length() == pytest.approx(5.0)
+
+    def test_fixing_t1_before_t2(self, fig2):
+        wtpg, _, _ = fig2
+        wtpg.apply_fix(1, 2)
+        assert wtpg.has_precedence(1, 2)
+        assert not wtpg.has_conflict_edge(1, 2)
+        # critical path: T0 -> T1 -> T2 = 5 + 2
+        assert wtpg.critical_path_length() == pytest.approx(7.0)
+
+
+class TestMembership:
+    def test_duplicate_add_rejected(self, fig2):
+        wtpg, t1, _ = fig2
+        with pytest.raises(ValueError):
+            wtpg.add_transaction(t1)
+
+    def test_remove_drops_edges(self, fig2):
+        wtpg, _, _ = fig2
+        wtpg.remove_transaction(1)
+        assert 1 not in wtpg
+        assert not wtpg.conflict_edges()
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            WTPG().remove_transaction(5)
+
+    def test_len_and_ids(self, fig2):
+        wtpg, _, _ = fig2
+        assert len(wtpg) == 2
+        assert wtpg.txn_ids == [1, 2]
+
+    def test_no_edge_between_nonconflicting(self):
+        wtpg = WTPG()
+        wtpg.add_transaction(txn(1, [(A, "r", 1.0)]))
+        wtpg.add_transaction(txn(2, [(A, "r", 1.0)]))  # S-S: no conflict
+        wtpg.add_transaction(txn(3, [(B, "w", 1.0)]))
+        assert not wtpg.conflict_edges()
+        assert wtpg.neighbors(1) == set()
+
+
+class TestGrantFixes:
+    def test_fixes_for_grant_identifies_conflicting_declarers(self, fig2):
+        wtpg, _, _ = fig2
+        assert wtpg.fixes_for_grant(1, A) == [(1, 2)]
+        # B is only touched by T1: no fix
+        assert wtpg.fixes_for_grant(1, B) == []
+
+    def test_grant_applies_fix(self, fig2):
+        wtpg, _, _ = fig2
+        applied = wtpg.grant(1, A)
+        assert (1, 2) in applied
+        assert wtpg.has_precedence(1, 2)
+
+    def test_contradicting_grant_detected_as_cycle(self, fig2):
+        wtpg, _, _ = fig2
+        wtpg.apply_fix(2, 1)
+        fixes = wtpg.fixes_for_grant(1, A)
+        assert wtpg.creates_cycle(fixes)
+        with pytest.raises(ValueError):
+            wtpg.grant(1, A)
+
+    def test_apply_fix_idempotent_when_already_fixed(self, fig2):
+        wtpg, _, _ = fig2
+        wtpg.apply_fix(1, 2)
+        wtpg.apply_fix(1, 2)  # no-op
+        assert wtpg.has_precedence(1, 2)
+
+    def test_apply_fix_without_edge_raises(self):
+        wtpg = WTPG()
+        wtpg.add_transaction(txn(1, [(A, "r", 1.0)]))
+        wtpg.add_transaction(txn(2, [(B, "w", 1.0)]))
+        with pytest.raises(KeyError):
+            wtpg.apply_fix(1, 2)
+
+
+class TestTransitivePropagation:
+    def build_fig6(self):
+        """Fig. 6-(a): T4 -> T5 fixed, (T5, T6) conflict, T6 -> T7 fixed,
+        (T4, T7) conflict.  Weights engineered so the paper's numbers
+        come out: w(T4->T7) = 10, w(T6->T7) = 1, T0 weights 0."""
+        wtpg = WTPG()
+        # shared files: d45=10, d56=11, d67=12, d47=13
+        t4 = txn(4, [(10, "w", 0.0), (13, "w", 0.0)])
+        t5 = txn(5, [(10, "w", 0.0), (11, "w", 0.0)])
+        t6 = txn(6, [(11, "w", 0.0), (12, "w", 0.0)])
+        t7 = txn(7, [(13, "w", 9.0), (12, "w", 1.0)])
+        for t in (t4, t5, t6, t7):
+            # exhaust actual steps so T0 weights are 0 (as in Fig. 6)
+            wtpg.add_transaction(t)
+        for t in (t4, t5, t6, t7):
+            t.current_step_index = len(t.steps)
+        wtpg.apply_fix(4, 5)
+        wtpg.apply_fix(6, 7)
+        return wtpg
+
+    def test_fig6_weights(self):
+        """The paper's numbers: w(T4 -> T7) = 10 (T7 blocked at its first
+        step, all 10 objects remain); w(T6 -> T7) = 1 (blocked at its
+        second step, 1 object remains)."""
+        wtpg = self.build_fig6()
+        edge = wtpg.conflict_edge(4, 7)
+        assert edge.weight(4, 7) == pytest.approx(10.0)
+        assert wtpg.precedence_edges()[(6, 7)] == pytest.approx(1.0)
+
+    def test_granting_t5_t6_forces_t4_t7(self):
+        """Fig. 6-(b): fixing T5 -> T6 creates the path T4 ~> T7, so the
+        conflict edge (T4, T7) must resolve to T4 -> T7."""
+        wtpg = self.build_fig6()
+        wtpg.apply_fix(5, 6)
+        applied = wtpg.propagate_transitive_fixes()
+        assert (4, 7) in applied
+        assert wtpg.has_precedence(4, 7)
+
+    def test_e_q_matches_paper_values(self):
+        """The paper: E(q of T5) = 10 (the forced T4 -> T7 edge) while
+        E(p of T6) = 1 ((T4, T7) stays an ignored conflict edge), so LOW
+        delays T5's request and prefers T6."""
+        wtpg = self.build_fig6()
+        e_q = wtpg.hypothetical_grant_critical_path(5, 11)
+        e_p = wtpg.hypothetical_grant_critical_path(6, 11)
+        assert e_q == pytest.approx(10.0)
+        assert e_p == pytest.approx(1.0)
+        # the real graph is untouched by hypothetical evaluation
+        assert wtpg.has_conflict_edge(5, 6)
+        assert wtpg.has_conflict_edge(4, 7)
+
+    def test_hypothetical_deadlock_is_infinite(self, fig2=None):
+        wtpg = WTPG()
+        t1 = txn(1, [(A, "w", 1.0), (B, "w", 1.0)])
+        t2 = txn(2, [(A, "w", 1.0), (B, "w", 1.0)])
+        wtpg.add_transaction(t1)
+        wtpg.add_transaction(t2)
+        wtpg.apply_fix(2, 1)
+        assert math.isinf(wtpg.hypothetical_grant_critical_path(1, A))
+
+
+class TestCriticalPath:
+    def test_empty_graph(self):
+        assert WTPG().critical_path_length() == 0.0
+
+    def test_chain_of_blocking_lengthens_path(self):
+        """A chain T1 -> T2 -> T3 accumulates weights along the path."""
+        wtpg = WTPG()
+        t1 = txn(1, [(A, "w", 2.0)])
+        t2 = txn(2, [(A, "w", 3.0), (B, "w", 1.0)])
+        t3 = txn(3, [(B, "w", 5.0)])
+        for t in (t1, t2, t3):
+            wtpg.add_transaction(t)
+        wtpg.apply_fix(1, 2)
+        wtpg.apply_fix(2, 3)
+        # T0->T1 = 2; w(T1->T2) = 4 (T2 blocked at step 0); w(T2->T3) = 5
+        assert wtpg.critical_path_length() == pytest.approx(2 + 4 + 5)
+
+    def test_cycle_gives_infinity(self):
+        wtpg = WTPG()
+        t1 = txn(1, [(A, "w", 1.0), (B, "w", 1.0)])
+        t2 = txn(2, [(A, "w", 1.0), (B, "w", 1.0)])
+        wtpg.add_transaction(t1)
+        wtpg.add_transaction(t2)
+        # force a cycle through internal state (schedulers prevent this)
+        wtpg._precedence[(1, 2)] = 1.0
+        wtpg._precedence[(2, 1)] = 1.0
+        wtpg._succ[1].add(2)
+        wtpg._succ[2].add(1)
+        wtpg._pred[1].add(2)
+        wtpg._pred[2].add(1)
+        del wtpg._conflicts[frozenset((1, 2))]
+        assert math.isinf(wtpg.critical_path_length())
+
+    def test_has_path(self):
+        wtpg = WTPG()
+        for i, files in ((1, A), (2, A), (3, B)):
+            pass
+        t1 = txn(1, [(A, "w", 1.0)])
+        t2 = txn(2, [(A, "w", 1.0), (B, "w", 1.0)])
+        t3 = txn(3, [(B, "w", 1.0)])
+        for t in (t1, t2, t3):
+            wtpg.add_transaction(t)
+        wtpg.apply_fix(1, 2)
+        wtpg.apply_fix(2, 3)
+        assert wtpg.has_path(1, 3)
+        assert not wtpg.has_path(3, 1)
+        assert wtpg.has_path(2, 2)

@@ -1,0 +1,229 @@
+"""Unit tests for the Environment event loop."""
+
+import pytest
+
+from repro.des import Environment, StopSimulation
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestClock:
+    def test_starts_at_zero(self, env):
+        assert env.now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(initial_time=100.0).now == 100.0
+
+    def test_run_until_time_sets_clock_exactly(self, env):
+        env.timeout(3)
+        env.run(until=10)
+        assert env.now == 10
+
+    def test_run_until_past_raises(self):
+        env = Environment(initial_time=50)
+        with pytest.raises(ValueError):
+            env.run(until=10)
+
+    def test_run_drains_queue(self, env):
+        env.timeout(4)
+        env.timeout(9)
+        env.run()
+        assert env.now == 9
+
+    def test_peek_empty_queue_is_inf(self, env):
+        assert env.peek() == float("inf")
+
+    def test_peek_returns_next_event_time(self, env):
+        env.timeout(12)
+        env.timeout(3)
+        assert env.peek() == 3
+
+    def test_step_on_empty_queue_raises(self, env):
+        with pytest.raises(StopSimulation):
+            env.step()
+
+
+class TestRunUntilEvent:
+    def test_returns_event_value(self, env):
+        assert env.run(until=env.timeout(2, value="done")) == "done"
+
+    def test_already_processed_event_returns_immediately(self, env):
+        t = env.timeout(1, value="v")
+        env.run()
+        assert env.run(until=t) == "v"
+
+    def test_failed_event_raises(self, env):
+        event = env.event()
+        event.fail(KeyError("nope"))
+        with pytest.raises(KeyError):
+            env.run(until=event)
+
+    def test_never_firing_event_raises_runtime_error(self, env):
+        pending = env.event()
+        env.timeout(5)
+        with pytest.raises(RuntimeError):
+            env.run(until=pending)
+
+    def test_stops_exactly_when_event_fires(self, env):
+        env.timeout(100)  # later event must not run
+        env.run(until=env.timeout(2))
+        assert env.now == 2
+
+
+class TestProcessIntegration:
+    def test_simple_process_advances_clock(self, env):
+        def proc(env):
+            yield env.timeout(5)
+            yield env.timeout(5)
+
+        env.process(proc(env))
+        env.run()
+        assert env.now == 10
+
+    def test_process_return_value(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            return "result"
+
+        assert env.run(until=env.process(proc(env))) == "result"
+
+    def test_process_waits_on_process(self, env):
+        def child(env):
+            yield env.timeout(3)
+            return 7
+
+        def parent(env):
+            value = yield env.process(child(env))
+            return value * 2
+
+        assert env.run(until=env.process(parent(env))) == 14
+
+    def test_waiting_on_finished_process(self, env):
+        def child(env):
+            yield env.timeout(1)
+            return "early"
+
+        def parent(env, child_proc):
+            yield env.timeout(10)
+            value = yield child_proc
+            return value
+
+        child_proc = env.process(child(env))
+        parent_proc = env.process(parent(env, child_proc))
+        assert env.run(until=parent_proc) == "early"
+        assert env.now == 10
+
+    def test_exception_in_process_propagates_in_strict_mode(self, env):
+        def bad(env):
+            yield env.timeout(1)
+            raise ValueError("inside process")
+
+        env.process(bad(env))
+        with pytest.raises(ValueError, match="inside process"):
+            env.run()
+
+    def test_exception_fails_process_event_in_lenient_mode(self):
+        env = Environment(strict=False)
+
+        def bad(env):
+            yield env.timeout(1)
+            raise ValueError("inside process")
+
+        def watcher(env, bad_proc):
+            try:
+                yield bad_proc
+            except ValueError:
+                return "caught"
+
+        bad_proc = env.process(bad(env))
+        assert env.run(until=env.process(watcher(env, bad_proc))) == "caught"
+
+    def test_yielding_non_event_raises(self, env):
+        def bad(env):
+            yield 42
+
+        env.process(bad(env))
+        with pytest.raises(TypeError):
+            env.run()
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_active_process_visible_during_resume(self, env):
+        observed = []
+
+        def proc(env):
+            observed.append(env.active_process)
+            yield env.timeout(1)
+
+        p = env.process(proc(env))
+        env.run()
+        assert observed == [p]
+        assert env.active_process is None
+
+    def test_interrupt_delivers_cause(self, env):
+        def sleeper(env):
+            try:
+                yield env.timeout(50)
+                return "overslept"
+            except Exception as exc:  # Interrupt
+                return exc.cause
+
+        def controller(env, target):
+            yield env.timeout(5)
+            target.interrupt(cause="alarm")
+
+        target = env.process(sleeper(env))
+        env.process(controller(env, target))
+        assert env.run(until=target) == "alarm"
+
+    def test_interrupt_finished_process_raises(self, env):
+        def quick(env):
+            yield env.timeout(1)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(RuntimeError):
+            p.interrupt()
+
+    def test_is_alive_transitions(self, env):
+        def proc(env):
+            yield env.timeout(2)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_process_repr_mentions_name(self, env):
+        def myproc(env):
+            yield env.timeout(1)
+
+        p = env.process(myproc(env), name="worker-3")
+        assert "worker-3" in repr(p)
+        env.run()
+        assert "done" in repr(p)
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build_trace():
+            env = Environment()
+            trace = []
+
+            def proc(env, name, delays):
+                for d in delays:
+                    yield env.timeout(d)
+                    trace.append((env.now, name))
+
+            env.process(proc(env, "a", [1, 2, 3]))
+            env.process(proc(env, "b", [2, 2, 2]))
+            env.process(proc(env, "c", [3, 1, 2]))
+            env.run()
+            return trace
+
+        assert build_trace() == build_trace()

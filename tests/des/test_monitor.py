@@ -1,0 +1,158 @@
+"""Unit tests for the statistics collectors."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.des.monitor import Counter, Tally, TimeWeighted
+
+
+class TestTally:
+    def test_empty_tally_mean_is_nan(self):
+        assert math.isnan(Tally().mean)
+
+    def test_single_observation(self):
+        t = Tally()
+        t.observe(4.0)
+        assert t.mean == 4.0
+        assert t.count == 1
+        assert math.isnan(t.variance)
+
+    def test_mean_and_variance(self):
+        t = Tally()
+        for v in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            t.observe(v)
+        assert t.mean == pytest.approx(5.0)
+        assert t.variance == pytest.approx(32.0 / 7.0)
+        assert t.stddev == pytest.approx(math.sqrt(32.0 / 7.0))
+
+    def test_min_max(self):
+        t = Tally()
+        for v in (3, -1, 7, 2):
+            t.observe(v)
+        assert t.minimum == -1
+        assert t.maximum == 7
+
+    def test_reset_discards_history(self):
+        t = Tally()
+        t.observe(100.0)
+        t.reset()
+        assert t.count == 0
+        assert math.isnan(t.mean)
+        t.observe(1.0)
+        assert t.mean == 1.0
+
+    def test_percentile_requires_keep_samples(self):
+        t = Tally()
+        t.observe(1.0)
+        with pytest.raises(RuntimeError):
+            t.percentile(50)
+
+    def test_percentiles(self):
+        t = Tally().keep_samples()
+        for v in range(1, 101):
+            t.observe(float(v))
+        assert t.percentile(50) == 50.0
+        assert t.percentile(90) == 90.0
+        assert t.percentile(100) == 100.0
+        assert t.percentile(0) == 1.0
+
+    def test_percentile_out_of_range(self):
+        t = Tally().keep_samples()
+        t.observe(1.0)
+        with pytest.raises(ValueError):
+            t.percentile(101)
+
+    def test_percentile_empty_is_nan(self):
+        t = Tally().keep_samples()
+        assert math.isnan(t.percentile(50))
+
+    def test_reset_clears_samples(self):
+        t = Tally().keep_samples()
+        t.observe(5.0)
+        t.reset()
+        assert math.isnan(t.percentile(50))
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2))
+    def test_streaming_mean_matches_batch(self, values):
+        t = Tally()
+        for v in values:
+            t.observe(v)
+        assert t.mean == pytest.approx(sum(values) / len(values), abs=1e-6)
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=2))
+    def test_streaming_variance_matches_batch(self, values):
+        t = Tally()
+        for v in values:
+            t.observe(v)
+        mean = sum(values) / len(values)
+        batch_var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert t.variance == pytest.approx(batch_var, abs=1e-6)
+
+
+class TestTimeWeighted:
+    def test_constant_signal(self):
+        s = TimeWeighted(now=0.0, value=3.0)
+        assert s.time_average(10.0) == pytest.approx(3.0)
+
+    def test_step_signal(self):
+        s = TimeWeighted(now=0.0, value=0.0)
+        s.update(5.0, 10.0)  # 0 for 5 units, then 10 for 5 units
+        assert s.time_average(10.0) == pytest.approx(5.0)
+
+    def test_increment(self):
+        s = TimeWeighted(now=0.0, value=1.0)
+        s.increment(4.0)  # 1 for 4 units
+        s.increment(8.0, delta=-1.0)  # 2 for 4 units
+        assert s.value == 1.0
+        assert s.time_average(8.0) == pytest.approx(1.5)
+
+    def test_maximum_tracking(self):
+        s = TimeWeighted(now=0.0, value=2.0)
+        s.update(1.0, 9.0)
+        s.update(2.0, 1.0)
+        assert s.maximum == 9.0
+
+    def test_zero_window_average_is_nan(self):
+        s = TimeWeighted(now=5.0, value=1.0)
+        assert math.isnan(s.time_average(5.0))
+
+    def test_backwards_time_rejected(self):
+        s = TimeWeighted(now=10.0)
+        with pytest.raises(ValueError):
+            s.update(5.0, 1.0)
+
+    def test_reset_restarts_window(self):
+        s = TimeWeighted(now=0.0, value=100.0)
+        s.update(10.0, 2.0)
+        s.reset(10.0)
+        assert s.time_average(20.0) == pytest.approx(2.0)
+        assert s.maximum == 2.0
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter().total == 0
+
+    def test_increment(self):
+        c = Counter()
+        c.increment()
+        c.increment(by=4)
+        assert c.total == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().increment(by=-1)
+
+    def test_reset(self):
+        c = Counter()
+        c.increment(by=7)
+        c.reset()
+        assert c.total == 0
+
+    def test_repr_contains_name_and_total(self):
+        c = Counter("commits")
+        c.increment()
+        assert "commits" in repr(c)
+        assert "1" in repr(c)

@@ -1,0 +1,80 @@
+"""Unit tests for seeded random streams."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.des import RandomStreams
+
+
+class TestStreams:
+    def test_same_seed_same_sequence(self):
+        a = RandomStreams(7).stream("arrivals")
+        b = RandomStreams(7).stream("arrivals")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_decorrelated(self):
+        streams = RandomStreams(7)
+        a = [streams.stream("a").random() for _ in range(10)]
+        b = [streams.stream("b").random() for _ in range(10)]
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x").random()
+        b = RandomStreams(2).stream("x").random()
+        assert a != b
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(0)
+        assert streams.stream("s") is streams.stream("s")
+
+    def test_draws_on_one_stream_do_not_perturb_another(self):
+        reference = RandomStreams(3)
+        ref_values = [reference.stream("b").random() for _ in range(5)]
+
+        perturbed = RandomStreams(3)
+        for _ in range(100):
+            perturbed.stream("a").random()
+        got = [perturbed.stream("b").random() for _ in range(5)]
+        assert got == ref_values
+
+
+class TestDistributions:
+    def test_exponential_positive(self):
+        streams = RandomStreams(11)
+        draws = [streams.exponential("arr", rate=0.5) for _ in range(100)]
+        assert all(d > 0 for d in draws)
+
+    def test_exponential_mean_close_to_inverse_rate(self):
+        streams = RandomStreams(11)
+        rate = 2.0
+        draws = [streams.exponential("arr", rate) for _ in range(20000)]
+        assert sum(draws) / len(draws) == pytest.approx(1 / rate, rel=0.05)
+
+    def test_exponential_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).exponential("arr", rate=0)
+
+    def test_uniform_int_bounds(self):
+        streams = RandomStreams(5)
+        draws = [streams.uniform_int("files", 3, 9) for _ in range(200)]
+        assert min(draws) >= 3
+        assert max(draws) <= 9
+        assert set(draws) == set(range(3, 10))  # all values reachable
+
+    def test_gauss_mean(self):
+        streams = RandomStreams(13)
+        draws = [streams.gauss("err", mean=5.0, stddev=1.0) for _ in range(20000)]
+        assert sum(draws) / len(draws) == pytest.approx(5.0, abs=0.05)
+
+    def test_sample_without_replacement_distinct(self):
+        streams = RandomStreams(17)
+        sample = streams.sample_without_replacement("pick", range(16), k=2)
+        assert len(sample) == 2
+        assert len(set(sample)) == 2
+        assert all(0 <= v < 16 for v in sample)
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(min_size=1, max_size=20))
+    def test_derived_seed_is_deterministic(self, seed, name):
+        assert RandomStreams(seed)._derive_seed(name) == RandomStreams(
+            seed
+        )._derive_seed(name)

@@ -1,0 +1,80 @@
+"""Unit tests for MachineConfig (Table 1)."""
+
+import pytest
+
+from repro.machine import MachineConfig
+
+
+class TestDefaults:
+    def test_table1_defaults(self):
+        cfg = MachineConfig()
+        assert cfg.num_nodes == 8
+        assert cfg.num_files == 16
+        assert cfg.dd == 1
+        assert cfg.mpl is None  # infinite
+        assert cfg.cpu_speed_mips == 4.0
+        assert cfg.netdelay_ms == 0.0
+        assert cfg.msgtime_ms == 2.0
+        assert cfg.sot_time_ms == 2.0
+        assert cfg.cot_time_ms == 7.0
+        assert cfg.ddtime_ms == 1.0
+        assert cfg.kwtpgtime_ms == 10.0
+        assert cfg.chaintime_ms == 30.0
+        assert cfg.toptime_ms == 5.0
+        assert cfg.obj_time_ms == 1000.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            MachineConfig().num_nodes = 4
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("num_nodes", 0),
+        ("num_files", 0),
+        ("dd", 0),
+        ("mpl", 0),
+        ("msgtime_ms", -1.0),
+        ("sot_time_ms", -0.5),
+        ("obj_time_ms", 0.0),
+        ("cpu_speed_mips", 0.0),
+        ("retry_delay_ms", -1.0),
+    ])
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            MachineConfig(**{field: value})
+
+    def test_dd_bounded_by_num_nodes(self):
+        with pytest.raises(ValueError):
+            MachineConfig(num_nodes=8, dd=9)
+        MachineConfig(num_nodes=8, dd=8)  # boundary ok
+
+    def test_mpl_one_is_valid(self):
+        assert MachineConfig(mpl=1).mpl == 1
+
+
+class TestScaling:
+    def test_default_scale_is_one(self):
+        assert MachineConfig().cpu_scale == 1.0
+        assert MachineConfig().scaled(10.0) == 10.0
+
+    def test_slower_cpu_inflates_costs(self):
+        cfg = MachineConfig(cpu_speed_mips=2.0)
+        assert cfg.scaled(10.0) == 20.0
+
+    def test_faster_cpu_deflates_costs(self):
+        cfg = MachineConfig(cpu_speed_mips=8.0)
+        assert cfg.scaled(10.0) == 5.0
+
+
+class TestReplace:
+    def test_replace_returns_new_config(self):
+        base = MachineConfig()
+        changed = base.replace(dd=4, num_files=64)
+        assert changed.dd == 4
+        assert changed.num_files == 64
+        assert base.dd == 1  # original untouched
+
+    def test_replace_validates(self):
+        with pytest.raises(ValueError):
+            MachineConfig().replace(dd=100)

@@ -1,0 +1,125 @@
+"""Unit tests for the control node CPU."""
+
+import pytest
+
+from repro.des import Environment
+from repro.machine import ControlNode, MachineConfig
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def run_consumers(env, cn, costs, category="x"):
+    finish_times = []
+
+    def job(env, cn, cost):
+        yield from cn.consume(cost, category)
+        finish_times.append(env.now)
+
+    for cost in costs:
+        env.process(job(env, cn, cost))
+    env.run()
+    return finish_times
+
+
+class TestConsume:
+    def test_single_job_takes_its_cost(self, env):
+        cn = ControlNode(env, MachineConfig())
+        assert run_consumers(env, cn, [7.0]) == [7.0]
+
+    def test_jobs_serialise_fifo(self, env):
+        cn = ControlNode(env, MachineConfig())
+        assert run_consumers(env, cn, [2.0, 3.0, 5.0]) == [2.0, 5.0, 10.0]
+
+    def test_zero_cost_is_free(self, env):
+        cn = ControlNode(env, MachineConfig())
+        assert run_consumers(env, cn, [0.0]) == [0.0]
+
+    def test_negative_cost_rejected(self, env):
+        cn = ControlNode(env, MachineConfig())
+
+        def job(env, cn):
+            yield from cn.consume(-1.0)
+
+        env.process(job(env, cn))
+        with pytest.raises(ValueError):
+            env.run()
+
+    def test_cpu_speed_scales_costs(self, env):
+        cn = ControlNode(env, MachineConfig(cpu_speed_mips=2.0))  # half speed
+        assert run_consumers(env, cn, [10.0]) == [20.0]
+
+    def test_cost_accounting_by_category(self, env):
+        cn = ControlNode(env, MachineConfig())
+        run_consumers(env, cn, [2.0, 3.0], category="startup")
+        assert cn.cpu_ms_by_category["startup"] == pytest.approx(5.0)
+
+
+class TestMessages:
+    def test_send_costs_msgtime(self, env):
+        cn = ControlNode(env, MachineConfig())
+
+        def job(env, cn):
+            yield from cn.send_message()
+
+        env.process(job(env, cn))
+        env.run()
+        assert env.now == pytest.approx(2.0)
+        assert cn.messages.total == 1
+
+    def test_netdelay_added_to_send(self, env):
+        cn = ControlNode(env, MachineConfig(netdelay_ms=50.0))
+
+        def job(env, cn):
+            yield from cn.send_message()
+
+        env.process(job(env, cn))
+        env.run()
+        assert env.now == pytest.approx(52.0)
+
+    def test_receive_costs_msgtime_without_delay(self, env):
+        cn = ControlNode(env, MachineConfig(netdelay_ms=50.0))
+
+        def job(env, cn):
+            yield from cn.receive_message()
+
+        env.process(job(env, cn))
+        env.run()
+        assert env.now == pytest.approx(2.0)
+
+
+class TestUtilisation:
+    def test_fully_busy(self, env):
+        cn = ControlNode(env, MachineConfig())
+
+        def job(env, cn):
+            yield from cn.consume(100.0)
+
+        env.process(job(env, cn))
+        env.run(until=env.timeout(100))
+        assert cn.utilisation() == pytest.approx(1.0)
+
+    def test_half_busy(self, env):
+        cn = ControlNode(env, MachineConfig())
+
+        def job(env, cn):
+            yield from cn.consume(50.0)
+
+        env.process(job(env, cn))
+        env.run(until=env.timeout(100))
+        assert cn.utilisation() == pytest.approx(0.5)
+
+    def test_reset_statistics(self, env):
+        cn = ControlNode(env, MachineConfig())
+
+        def job(env, cn):
+            yield from cn.consume(50.0)
+
+        env.process(job(env, cn))
+        env.run(until=env.timeout(50))
+        cn.reset_statistics()
+        assert cn.cpu_ms_by_category == {}
+        env.run(until=env.timeout(150))
+        assert cn.utilisation() == pytest.approx(0.0)

@@ -1,0 +1,155 @@
+"""Unit tests for the DPN round-robin cohort service."""
+
+import pytest
+
+from repro.des import Environment
+from repro.machine.data_node import Cohort, DataProcessingNode
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_cohort(env, node=0, objects=1.0, quantum=1.0, txn=0, file_id=0):
+    return Cohort(
+        env,
+        txn_id=txn,
+        file_id=file_id,
+        node_id=node,
+        objects=objects,
+        quantum_objects=quantum,
+    )
+
+
+class TestCohort:
+    def test_negative_objects_rejected(self, env):
+        with pytest.raises(ValueError):
+            make_cohort(env, objects=-1)
+
+    def test_zero_quantum_rejected(self, env):
+        with pytest.raises(ValueError):
+            make_cohort(env, quantum=0)
+
+    def test_remaining_tracks_scanned(self, env):
+        cohort = make_cohort(env, objects=5.0)
+        cohort.scanned = 2.0
+        assert cohort.remaining == 3.0
+        assert not cohort.finished
+
+    def test_finished_at_full_scan(self, env):
+        cohort = make_cohort(env, objects=5.0)
+        cohort.scanned = 5.0
+        assert cohort.finished
+
+
+class TestSingleCohortService:
+    def test_one_object_takes_obj_time(self, env):
+        node = DataProcessingNode(env, node_id=0, obj_time_ms=1000.0)
+        cohort = make_cohort(env, objects=1.0, quantum=1.0)
+        env.run(until=node.submit(cohort))
+        assert env.now == 1000.0
+        assert cohort.finished
+
+    def test_fractional_cost(self, env):
+        node = DataProcessingNode(env, node_id=0, obj_time_ms=1000.0)
+        cohort = make_cohort(env, objects=0.2, quantum=1.0)
+        env.run(until=node.submit(cohort))
+        assert env.now == pytest.approx(200.0)
+
+    def test_zero_cost_completes_immediately(self, env):
+        node = DataProcessingNode(env, node_id=0, obj_time_ms=1000.0)
+        cohort = make_cohort(env, objects=0.0)
+        done = node.submit(cohort)
+        assert done.triggered
+        assert node.active_cohorts == 0
+
+    def test_wrong_node_rejected(self, env):
+        node = DataProcessingNode(env, node_id=0, obj_time_ms=1000.0)
+        with pytest.raises(ValueError):
+            node.submit(make_cohort(env, node=3))
+
+    def test_bad_obj_time_rejected(self, env):
+        with pytest.raises(ValueError):
+            DataProcessingNode(env, node_id=0, obj_time_ms=0)
+
+
+class TestRoundRobin:
+    def test_two_cohorts_share_the_node(self, env):
+        """Two 2-object cohorts with quantum 1: service alternates a/b."""
+        node = DataProcessingNode(env, node_id=0, obj_time_ms=100.0)
+        a = make_cohort(env, objects=2.0, quantum=1.0, txn=1)
+        b = make_cohort(env, objects=2.0, quantum=1.0, txn=2)
+        done_a = node.submit(a)
+        done_b = node.submit(b)
+        finish = {}
+        done_a.callbacks.append(lambda e: finish.setdefault("a", env.now))
+        done_b.callbacks.append(lambda e: finish.setdefault("b", env.now))
+        env.run()
+        # a: quanta end at 100, 300; b: 200, 400
+        assert finish["a"] == pytest.approx(300.0)
+        assert finish["b"] == pytest.approx(400.0)
+
+    def test_short_job_not_starved_behind_long_job(self, env):
+        """Round-robin lets a 1-object scan finish inside a 10-object scan."""
+        node = DataProcessingNode(env, node_id=0, obj_time_ms=100.0)
+        long = make_cohort(env, objects=10.0, quantum=1.0, txn=1)
+        short = make_cohort(env, objects=1.0, quantum=1.0, txn=2)
+        node.submit(long)
+        done_short = node.submit(short)
+        env.run(until=done_short)
+        # short runs its single quantum second: done at 200, not 1100
+        assert env.now == pytest.approx(200.0)
+
+    def test_late_arrival_joins_rotation(self, env):
+        node = DataProcessingNode(env, node_id=0, obj_time_ms=100.0)
+        first = make_cohort(env, objects=3.0, quantum=1.0, txn=1)
+        node.submit(first)
+        times = {}
+
+        def submit_later(env, node):
+            yield env.timeout(150)  # first is mid-second-quantum
+            late = make_cohort(env, objects=1.0, quantum=1.0, txn=2)
+            done = node.submit(late)
+            yield done
+            times["late"] = env.now
+
+        env.process(submit_later(env, node))
+        env.run()
+        assert times["late"] == pytest.approx(300.0)
+
+    def test_quantum_smaller_than_remaining_work(self, env):
+        """A 1.5-object cohort with 0.5 quantum takes three quanta."""
+        node = DataProcessingNode(env, node_id=0, obj_time_ms=1000.0)
+        cohort = make_cohort(env, objects=1.5, quantum=0.5)
+        env.run(until=node.submit(cohort))
+        assert env.now == pytest.approx(1500.0)
+
+    def test_last_partial_quantum_truncated(self, env):
+        """A 1.2-object cohort with quantum 1 takes 1.2 * obj_time."""
+        node = DataProcessingNode(env, node_id=0, obj_time_ms=1000.0)
+        cohort = make_cohort(env, objects=1.2, quantum=1.0)
+        env.run(until=node.submit(cohort))
+        assert env.now == pytest.approx(1200.0)
+
+
+class TestStatistics:
+    def test_utilisation_full_while_busy(self, env):
+        node = DataProcessingNode(env, node_id=0, obj_time_ms=100.0)
+        node.submit(make_cohort(env, objects=5.0))
+        env.run(until=env.timeout(500))
+        assert node.utilisation() == pytest.approx(1.0)
+
+    def test_utilisation_half_when_idle_half(self, env):
+        node = DataProcessingNode(env, node_id=0, obj_time_ms=100.0)
+        node.submit(make_cohort(env, objects=5.0))  # busy 500 of 1000
+        env.run(until=env.timeout(1000))
+        assert node.utilisation() == pytest.approx(0.5)
+
+    def test_reset_statistics(self, env):
+        node = DataProcessingNode(env, node_id=0, obj_time_ms=100.0)
+        node.submit(make_cohort(env, objects=5.0))
+        env.run(until=env.timeout(500))
+        node.reset_statistics()
+        env.run(until=env.timeout(1000))  # idle afterwards
+        assert node.utilisation() == pytest.approx(0.0)

@@ -1,0 +1,97 @@
+"""Unit tests for data placement and declustering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine import DataPlacement, MachineConfig
+
+
+class TestHomeNodes:
+    def test_home_node_is_file_mod_nodes(self):
+        placement = DataPlacement(MachineConfig(num_files=16, num_nodes=8))
+        for f in range(16):
+            assert placement.home_node(f) == f % 8
+
+    def test_out_of_range_file_rejected(self):
+        placement = DataPlacement(MachineConfig(num_files=8))
+        with pytest.raises(ValueError):
+            placement.home_node(8)
+        with pytest.raises(ValueError):
+            placement.home_node(-1)
+
+
+class TestDeclustering:
+    def test_dd1_single_node(self):
+        placement = DataPlacement(MachineConfig(dd=1))
+        assert placement.nodes_for(3) == [3]
+
+    def test_dd4_consecutive_nodes(self):
+        placement = DataPlacement(MachineConfig(dd=4))
+        assert placement.nodes_for(2) == [2, 3, 4, 5]
+
+    def test_wraparound(self):
+        placement = DataPlacement(MachineConfig(num_files=16, num_nodes=8, dd=4))
+        assert placement.nodes_for(6) == [6, 7, 0, 1]
+
+    def test_dd8_covers_all_nodes(self):
+        placement = DataPlacement(MachineConfig(dd=8))
+        assert sorted(placement.nodes_for(5)) == list(range(8))
+
+    def test_per_file_override(self):
+        placement = DataPlacement(MachineConfig(dd=1), dd_overrides={0: 4})
+        assert len(placement.nodes_for(0)) == 4
+        assert len(placement.nodes_for(1)) == 1
+        assert placement.degree_of_declustering(0) == 4
+
+    def test_bad_override_rejected(self):
+        with pytest.raises(ValueError):
+            DataPlacement(MachineConfig(), dd_overrides={0: 99})
+        with pytest.raises(ValueError):
+            DataPlacement(MachineConfig(num_files=4), dd_overrides={10: 2})
+
+    @given(
+        dd=st.integers(min_value=1, max_value=8),
+        file_id=st.integers(min_value=0, max_value=15),
+    )
+    def test_nodes_are_distinct_and_start_at_home(self, dd, file_id):
+        placement = DataPlacement(MachineConfig(dd=dd))
+        nodes = placement.nodes_for(file_id)
+        assert len(nodes) == dd
+        assert len(set(nodes)) == dd
+        assert nodes[0] == placement.home_node(file_id)
+
+
+class TestStriding:
+    def test_strided_placement_spreads_partitions(self):
+        placement = DataPlacement(MachineConfig(dd=4), striping="strided")
+        assert placement.nodes_for(0) == [0, 2, 4, 6]
+
+    def test_unknown_striping_rejected(self):
+        with pytest.raises(ValueError):
+            DataPlacement(MachineConfig(), striping="random")
+
+
+class TestCosts:
+    def test_partition_cost_divides_by_dd(self):
+        placement = DataPlacement(MachineConfig(dd=4))
+        assert placement.partition_cost(0, 5.0) == pytest.approx(1.25)
+
+    def test_partition_cost_at_dd1_is_full_cost(self):
+        placement = DataPlacement(MachineConfig(dd=1))
+        assert placement.partition_cost(0, 5.0) == 5.0
+
+
+class TestFilesOnNode:
+    def test_dd1_round_robin_assignment(self):
+        placement = DataPlacement(MachineConfig(num_files=16, num_nodes=8, dd=1))
+        assert placement.files_on_node(0) == [0, 8]
+        assert placement.files_on_node(7) == [7, 15]
+
+    def test_dd8_every_file_everywhere(self):
+        placement = DataPlacement(MachineConfig(num_files=16, num_nodes=8, dd=8))
+        for node in range(8):
+            assert placement.files_on_node(node) == list(range(16))
+
+    def test_bad_node_rejected(self):
+        with pytest.raises(ValueError):
+            DataPlacement(MachineConfig()).files_on_node(8)

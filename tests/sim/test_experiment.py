@@ -1,0 +1,127 @@
+"""Tests for the operating-point search and sweeps."""
+
+import math
+
+import pytest
+
+from repro.machine import MachineConfig
+from repro.sim import (
+    best_mpl_result,
+    find_throughput_at_response_time,
+    run_at_rate,
+    sweep,
+)
+from repro.txn import experiment1_workload
+
+
+def factory(num_files=16):
+    return lambda rate: experiment1_workload(rate, num_files=num_files)
+
+
+QUICK = dict(duration_ms=150_000.0, warmup_ms=20_000.0)
+
+
+class TestRunAtRate:
+    def test_returns_result_for_rate(self):
+        result = run_at_rate("NODC", factory(), 0.5, seed=1, **QUICK)
+        assert result.arrival_rate_tps == 0.5
+        assert result.completed > 10
+
+    def test_custom_config(self):
+        result = run_at_rate(
+            "NODC", factory(), 0.5, config=MachineConfig(dd=8), seed=1, **QUICK
+        )
+        assert result.completed > 10
+
+
+class TestBisection:
+    def test_finds_rate_with_target_rt(self):
+        result = find_throughput_at_response_time(
+            "ASL",
+            factory(),
+            target_rt_ms=40_000.0,
+            iterations=5,
+            seed=1,
+            **QUICK,
+        )
+        # final run's RT is at or below target, throughput positive
+        assert result.mean_response_ms <= 40_000.0
+        assert result.throughput_tps > 0.1
+
+    def test_low_target_returns_floor_probe(self):
+        """An unreachable target (RT below a single service time) makes
+        even the lowest probed rate 'too fast'."""
+        result = find_throughput_at_response_time(
+            "NODC",
+            factory(),
+            target_rt_ms=1_000.0,  # one scan alone takes > 7 s
+            rate_lo=0.05,
+            iterations=3,
+            seed=1,
+            **QUICK,
+        )
+        assert result.arrival_rate_tps == 0.05
+
+    def test_fast_scheduler_saturates_at_hi(self):
+        """If RT stays under target even at rate_hi, rate_hi is returned."""
+        result = find_throughput_at_response_time(
+            "NODC",
+            factory(),
+            target_rt_ms=10_000_000.0,
+            rate_hi=0.3,
+            iterations=3,
+            seed=1,
+            **QUICK,
+        )
+        assert result.arrival_rate_tps == 0.3
+
+    def test_better_scheduler_gets_higher_operating_point(self):
+        asl = find_throughput_at_response_time(
+            "ASL", factory(), iterations=5, seed=1, **QUICK
+        )
+        c2pl = find_throughput_at_response_time(
+            "C2PL", factory(), iterations=5, seed=1, **QUICK
+        )
+        assert asl.throughput_tps > c2pl.throughput_tps
+
+
+class TestSweep:
+    def test_sweep_keys_by_scheduler(self):
+        results = sweep(
+            ["NODC", "ASL"],
+            lambda s: run_at_rate(s, factory(), 0.4, seed=1, **QUICK),
+        )
+        assert set(results) == {"NODC", "ASL"}
+        assert results["ASL"].scheduler == "ASL"
+
+
+class TestC2PLM:
+    def test_best_mpl_labelled(self):
+        result = best_mpl_result(
+            factory(),
+            MachineConfig(dd=1),
+            rate_tps=0.6,
+            mpl_candidates=(2, 8),
+            seed=1,
+            **QUICK,
+        )
+        assert result.scheduler == "C2PL+M"
+        assert not math.isnan(result.mean_response_ms)
+
+    def test_mpl_control_helps_under_contention(self):
+        """The point of +M: bounding MPL avoids blocking chains.  (At a
+        short horizon overload censors response times -- only the few
+        fast commits are counted -- so the robust comparison is
+        completed work, where the MPL-bounded run wins.)"""
+        raw = run_at_rate(
+            "C2PL", factory(), 1.0, config=MachineConfig(dd=1), seed=1, **QUICK
+        )
+        tuned = best_mpl_result(
+            factory(),
+            MachineConfig(dd=1),
+            rate_tps=1.0,
+            mpl_candidates=(4, 8),
+            seed=1,
+            **QUICK,
+        )
+        assert tuned.throughput_tps >= raw.throughput_tps * 0.95

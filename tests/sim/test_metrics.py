@@ -1,0 +1,88 @@
+"""Unit tests for result records and metric collection."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import MetricsCollector, SimulationResult
+
+
+def make_result(**overrides):
+    base = dict(
+        scheduler="ASL",
+        arrival_rate_tps=1.0,
+        duration_ms=100_000.0,
+        warmup_ms=0.0,
+        completed=10,
+        mean_response_ms=20_000.0,
+        p95_response_ms=50_000.0,
+        max_response_ms=60_000.0,
+        throughput_tps=0.1,
+        cn_utilisation=0.05,
+        dpn_utilisation=0.5,
+        restarts=0,
+        admission_rejections=0,
+        blocks=0,
+        delays=0,
+        in_flight_at_end=0,
+        seed=0,
+    )
+    base.update(overrides)
+    return SimulationResult(**base)
+
+
+class TestSimulationResult:
+    def test_mean_response_seconds(self):
+        assert make_result(mean_response_ms=42_000.0).mean_response_s == 42.0
+
+    def test_speedup_against(self):
+        base = make_result(mean_response_ms=100_000.0)
+        fast = make_result(mean_response_ms=25_000.0)
+        assert fast.speedup_against(base) == pytest.approx(4.0)
+
+    def test_speedup_with_nan_is_nan(self):
+        base = make_result(mean_response_ms=100_000.0)
+        broken = make_result(mean_response_ms=float("nan"))
+        assert math.isnan(broken.speedup_against(base))
+
+    def test_speedup_with_zero_rt_is_nan(self):
+        base = make_result(mean_response_ms=100_000.0)
+        zero = make_result(mean_response_ms=0.0)
+        assert math.isnan(zero.speedup_against(base))
+
+
+class TestMetricsCollector:
+    def test_commit_recording(self):
+        metrics = MetricsCollector()
+        metrics.record_commit(5_000.0)
+        metrics.record_commit(15_000.0)
+        assert metrics.commits == 2
+        assert metrics.response_times.mean == pytest.approx(10_000.0)
+
+    def test_throughput_window(self):
+        metrics = MetricsCollector()
+        for _ in range(5):
+            metrics.record_commit(1_000.0)
+        # 5 commits in 10 simulated seconds
+        assert metrics.throughput_tps(10_000.0) == pytest.approx(0.5)
+
+    def test_throughput_empty_window_nan(self):
+        metrics = MetricsCollector()
+        assert math.isnan(metrics.throughput_tps(0.0))
+
+    def test_reset_moves_window(self):
+        metrics = MetricsCollector()
+        metrics.record_commit(1_000.0)
+        metrics.record_restart()
+        metrics.reset(50_000.0)
+        assert metrics.commits == 0
+        assert metrics.restarts == 0
+        metrics.record_commit(2_000.0)
+        # one commit in the 10 s after the reset
+        assert metrics.throughput_tps(60_000.0) == pytest.approx(0.1)
+
+    def test_restart_counting(self):
+        metrics = MetricsCollector()
+        metrics.record_restart()
+        metrics.record_restart()
+        assert metrics.restarts == 2

@@ -1,0 +1,84 @@
+"""Tests for multi-seed replication and confidence intervals."""
+
+import math
+
+import pytest
+
+from repro.machine import MachineConfig
+from repro.sim import run_simulation
+from repro.sim.replication import (
+    MetricEstimate,
+    estimate,
+    replicate,
+)
+from repro.txn import experiment1_workload
+
+
+class TestEstimate:
+    def test_single_value_has_nan_half_width(self):
+        e = estimate([5.0])
+        assert e.mean == 5.0
+        assert math.isnan(e.half_width)
+
+    def test_mean_and_interval(self):
+        e = estimate([10.0, 12.0, 14.0])
+        assert e.mean == pytest.approx(12.0)
+        # t(2, 95%) = 4.303, s = 2, n = 3
+        assert e.half_width == pytest.approx(4.303 * 2 / math.sqrt(3), rel=1e-3)
+        assert e.low < 12.0 < e.high
+
+    def test_nan_samples_excluded(self):
+        e = estimate([10.0, float("nan"), 14.0])
+        assert e.mean == pytest.approx(12.0)
+
+    def test_all_nan(self):
+        assert math.isnan(estimate([float("nan")]).mean)
+
+    def test_overlap_detection(self):
+        a = MetricEstimate(10.0, 1.0, (9.0, 11.0))
+        b = MetricEstimate(11.5, 1.0, (10.5, 12.5))
+        c = MetricEstimate(20.0, 1.0, (19.0, 21.0))
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_str_format(self):
+        assert "±" in str(MetricEstimate(1.0, 0.1, (1.0,)))
+
+    def test_large_dof_uses_asymptotic_t(self):
+        e = estimate(list(range(100)))
+        assert not math.isnan(e.half_width)
+
+
+class TestReplicate:
+    def runner(self, seed):
+        return run_simulation(
+            "ASL",
+            experiment1_workload(0.4),
+            MachineConfig(dd=1, num_files=16),
+            seed=seed,
+            duration_ms=150_000,
+            warmup_ms=20_000,
+        )
+
+    def test_aggregates_across_seeds(self):
+        result = replicate(self.runner, seeds=range(3))
+        assert result.scheduler == "ASL"
+        assert result.seeds == (0, 1, 2)
+        assert result.throughput_tps.mean > 0.2
+        assert len(result.throughput_tps.samples) == 3
+        assert not math.isnan(result.throughput_tps.half_width)
+
+    def test_mean_response_seconds_view(self):
+        result = replicate(self.runner, seeds=range(2))
+        assert result.mean_response_s.mean == pytest.approx(
+            result.mean_response_ms.mean / 1000.0
+        )
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(self.runner, seeds=())
+
+    def test_seeds_vary_the_samples(self):
+        result = replicate(self.runner, seeds=range(3))
+        assert len(set(result.throughput_tps.samples)) > 1

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "LOW"])
+        assert args.scheduler == "LOW"
+        assert args.workload == "exp1"
+        assert args.rate == 1.0
+        assert args.dd == 1
+        assert args.mpl is None
+
+    def test_run_custom_flags(self):
+        args = build_parser().parse_args([
+            "run", "GOW", "--workload", "exp2", "--rate", "0.5",
+            "--dd", "4", "--mpl", "8", "--seed", "7",
+        ])
+        assert args.workload == "exp2"
+        assert args.rate == 0.5
+        assert args.dd == 4
+        assert args.mpl == 8
+        assert args.seed == 7
+
+    def test_bad_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "LOW", "--workload", "nope"])
+
+
+class TestCommands:
+    def test_schedulers_lists_paper_lineup(self, capsys):
+        assert main(["schedulers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("NODC", "ASL", "GOW", "LOW", "C2PL", "OPT"):
+            assert name in out
+
+    def test_experiments_lists_all_ten(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for eid in ("fig8", "table2", "fig9", "table3", "fig10",
+                    "fig11", "table4", "fig12", "fig13", "table5"):
+            assert eid in out
+
+    def test_run_exp1(self, capsys):
+        code = main([
+            "run", "ASL", "--rate", "0.4",
+            "--duration", "120000", "--warmup", "20000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput (TPS)" in out
+        assert "ASL" in out
+
+    def test_run_exp2(self, capsys):
+        code = main([
+            "run", "LOW", "--workload", "exp2", "--rate", "0.4",
+            "--duration", "100000", "--warmup", "0",
+        ])
+        assert code == 0
+        assert "LOW" in capsys.readouterr().out
+
+    def test_run_exp3_with_sigma(self, capsys):
+        code = main([
+            "run", "GOW", "--workload", "exp3", "--sigma", "2.0",
+            "--rate", "0.3", "--duration", "100000", "--warmup", "0",
+        ])
+        assert code == 0
+
+    def test_run_with_mpl(self, capsys):
+        code = main([
+            "run", "C2PL", "--mpl", "4", "--rate", "0.4",
+            "--duration", "100000", "--warmup", "0",
+        ])
+        assert code == 0
+
+    def test_run_unknown_scheduler_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "NOPE", "--duration", "1000", "--warmup", "0"])

@@ -1,0 +1,83 @@
+"""Unit tests for the pattern DSL."""
+
+import pytest
+
+from repro.txn import PATTERN_1, PATTERN_2, AccessMode, Pattern, PatternError
+
+
+class TestParsing:
+    def test_pattern1_shape(self):
+        assert len(PATTERN_1) == 4
+        assert PATTERN_1.placeholders == ["F1", "F2"]
+        modes = [s.mode for s in PATTERN_1.steps]
+        assert modes == [
+            AccessMode.SHARED,
+            AccessMode.SHARED,
+            AccessMode.EXCLUSIVE,
+            AccessMode.EXCLUSIVE,
+        ]
+        assert [s.cost for s in PATTERN_1.steps] == [1.0, 5.0, 0.2, 1.0]
+
+    def test_pattern2_shape(self):
+        assert len(PATTERN_2) == 3
+        assert PATTERN_2.placeholders == ["B", "F1", "F2"]
+        assert PATTERN_2.total_cost == pytest.approx(7.0)
+
+    def test_unicode_arrow_accepted(self):
+        pattern = Pattern.parse("r(A:1) → w(B:2)")
+        assert len(pattern) == 2
+
+    def test_whitespace_tolerant(self):
+        pattern = Pattern.parse("  r( A : 1 )  ->  w( B : 0.5 )  ")
+        assert pattern.placeholders == ["A", "B"]
+
+    def test_literal_integer_files(self):
+        pattern = Pattern.parse("r(3:1) -> w(7:2)")
+        steps = pattern.instantiate({})
+        assert [s.file_id for s in steps] == [3, 7]
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "x(A:1)",
+        "r(A)",
+        "r(:1)",
+        "r(A:1) => w(B:2)",
+        "r(A:-1)",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(PatternError):
+            Pattern.parse(bad)
+
+    def test_empty_step_list_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern([])
+
+    def test_roundtrip_str(self):
+        text = "r(F1:1) -> r(F2:5) -> w(F1:0.2) -> w(F2:1)"
+        assert str(Pattern.parse(text)) == text
+
+
+class TestInstantiation:
+    def test_binding_replaces_placeholders(self):
+        steps = PATTERN_1.instantiate({"F1": 3, "F2": 11})
+        assert [s.file_id for s in steps] == [3, 11, 3, 11]
+
+    def test_missing_binding_raises(self):
+        with pytest.raises(PatternError):
+            PATTERN_1.instantiate({"F1": 3})
+
+    def test_binding_overrides_literal(self):
+        pattern = Pattern.parse("r(5:1)")
+        steps = pattern.instantiate({"5": 9})
+        assert steps[0].file_id == 9
+
+    def test_costs_carried_over(self):
+        steps = PATTERN_1.instantiate({"F1": 0, "F2": 1})
+        assert [s.cost for s in steps] == [1.0, 5.0, 0.2, 1.0]
+
+    def test_total_cost(self):
+        assert PATTERN_1.total_cost == pytest.approx(7.2)
+
+    def test_placeholder_first_appearance_order(self):
+        pattern = Pattern.parse("r(Z:1) -> r(A:1) -> w(Z:1)")
+        assert pattern.placeholders == ["Z", "A"]

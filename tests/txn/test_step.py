@@ -1,0 +1,62 @@
+"""Unit tests for steps and access modes."""
+
+import pytest
+
+from repro.txn import AccessMode, Step
+
+
+class TestAccessMode:
+    def test_shared_is_not_write(self):
+        assert not AccessMode.SHARED.is_write
+
+    def test_exclusive_is_write(self):
+        assert AccessMode.EXCLUSIVE.is_write
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (AccessMode.SHARED, AccessMode.SHARED, False),
+        (AccessMode.SHARED, AccessMode.EXCLUSIVE, True),
+        (AccessMode.EXCLUSIVE, AccessMode.SHARED, True),
+        (AccessMode.EXCLUSIVE, AccessMode.EXCLUSIVE, True),
+    ])
+    def test_conflict_matrix(self, a, b, expected):
+        assert a.conflicts_with(b) is expected
+
+    def test_str(self):
+        assert str(AccessMode.SHARED) == "S"
+        assert str(AccessMode.EXCLUSIVE) == "X"
+
+
+class TestStep:
+    def test_valid_step(self):
+        step = Step(file_id=3, mode=AccessMode.SHARED, cost=5.0)
+        assert step.file_id == 3
+        assert not step.is_write
+        assert step.cost == 5.0
+
+    def test_negative_file_rejected(self):
+        with pytest.raises(ValueError):
+            Step(file_id=-1, mode=AccessMode.SHARED, cost=1.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Step(file_id=0, mode=AccessMode.SHARED, cost=-0.1)
+
+    def test_zero_cost_allowed(self):
+        assert Step(file_id=0, mode=AccessMode.SHARED, cost=0.0).cost == 0.0
+
+    def test_mode_type_checked(self):
+        with pytest.raises(TypeError):
+            Step(file_id=0, mode="S", cost=1.0)
+
+    def test_str_rendering(self):
+        assert str(Step(1, AccessMode.SHARED, 5.0)) == "r(F1:5)"
+        assert str(Step(2, AccessMode.EXCLUSIVE, 0.2)) == "w(F2:0.2)"
+
+    def test_frozen(self):
+        step = Step(0, AccessMode.SHARED, 1.0)
+        with pytest.raises(Exception):
+            step.cost = 2.0
+
+    def test_equality(self):
+        assert Step(0, AccessMode.SHARED, 1.0) == Step(0, AccessMode.SHARED, 1.0)
+        assert Step(0, AccessMode.SHARED, 1.0) != Step(0, AccessMode.EXCLUSIVE, 1.0)

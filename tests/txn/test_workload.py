@@ -1,0 +1,192 @@
+"""Unit tests for workload generation and the declaration-error model."""
+
+import pytest
+
+from repro.des import RandomStreams
+from repro.txn import (
+    DeclarationErrorModel,
+    Workload,
+    PATTERN_1,
+    experiment1_workload,
+    experiment2_workload,
+    experiment3_workload,
+    hot_set_chooser,
+    uniform_two_files,
+)
+
+
+@pytest.fixture
+def streams():
+    return RandomStreams(123)
+
+
+class TestDeclarationErrorModel:
+    def test_sigma_zero_is_exact(self, streams):
+        model = DeclarationErrorModel(0.0)
+        assert model.declare([1.0, 5.0], streams) == [1.0, 5.0]
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            DeclarationErrorModel(-1.0)
+
+    def test_errors_never_negative(self, streams):
+        model = DeclarationErrorModel(10.0)
+        declared = model.declare([5.0] * 1000, streams)
+        assert all(c >= 0 for c in declared)
+
+    def test_mean_roughly_unbiased_at_small_sigma(self, streams):
+        model = DeclarationErrorModel(0.3)
+        declared = model.declare([5.0] * 5000, streams)
+        assert sum(declared) / len(declared) == pytest.approx(5.0, rel=0.05)
+
+    def test_large_sigma_produces_zeros(self, streams):
+        """At sigma = 10 about half the draws fall at or below x = -1."""
+        model = DeclarationErrorModel(10.0)
+        declared = model.declare([5.0] * 1000, streams)
+        zero_fraction = sum(1 for c in declared if c == 0.0) / len(declared)
+        assert 0.3 < zero_fraction < 0.7
+
+    def test_deterministic_given_stream(self):
+        a = DeclarationErrorModel(1.0).declare([5.0] * 10, RandomStreams(7))
+        b = DeclarationErrorModel(1.0).declare([5.0] * 10, RandomStreams(7))
+        assert a == b
+
+
+class TestFileChoosers:
+    def test_uniform_two_files_distinct(self, streams):
+        choose = uniform_two_files(16)
+        for _ in range(200):
+            binding = choose(streams)
+            assert binding["F1"] != binding["F2"]
+            assert 0 <= binding["F1"] < 16
+            assert 0 <= binding["F2"] < 16
+
+    def test_uniform_two_files_covers_range(self, streams):
+        choose = uniform_two_files(8)
+        seen = set()
+        for _ in range(500):
+            binding = choose(streams)
+            seen.update(binding.values())
+        assert seen == set(range(8))
+
+    def test_uniform_needs_two_files(self):
+        with pytest.raises(ValueError):
+            uniform_two_files(1)
+
+    def test_hot_set_chooser_pools(self, streams):
+        choose = hot_set_chooser()
+        for _ in range(200):
+            binding = choose(streams)
+            assert 0 <= binding["B"] < 8
+            assert 8 <= binding["F1"] < 16
+            assert 8 <= binding["F2"] < 16
+            assert binding["F1"] != binding["F2"]
+
+    def test_hot_set_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            hot_set_chooser(read_only_files=[0, 1], hot_files=[1, 2])
+
+    def test_hot_set_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            hot_set_chooser(hot_files=[8])
+
+
+class TestWorkload:
+    def test_rate_conversion(self):
+        wl = experiment1_workload(arrival_rate_tps=1.2)
+        assert wl.rate_per_ms == pytest.approx(0.0012)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(PATTERN_1, uniform_two_files(16), 0.0)
+
+    def test_interarrival_mean(self, streams):
+        wl = experiment1_workload(arrival_rate_tps=1.0)
+        draws = [wl.next_interarrival_ms(streams) for _ in range(20000)]
+        assert sum(draws) / len(draws) == pytest.approx(1000.0, rel=0.05)
+
+    def test_txn_ids_sequential(self, streams):
+        wl = experiment1_workload(1.0)
+        t0 = wl.make_transaction(0.0, streams)
+        t1 = wl.make_transaction(5.0, streams)
+        assert (t0.txn_id, t1.txn_id) == (0, 1)
+
+    def test_transaction_shape_matches_pattern(self, streams):
+        wl = experiment1_workload(1.0)
+        txn = wl.make_transaction(10.0, streams)
+        assert len(txn.steps) == 4
+        assert txn.arrival_time == 10.0
+        assert [s.cost for s in txn.steps] == [1.0, 5.0, 0.2, 1.0]
+
+    def test_experiment2_transactions_touch_hot_set(self, streams):
+        wl = experiment2_workload(1.0)
+        txn = wl.make_transaction(0.0, streams)
+        files = txn.files
+        assert files[0] < 8  # read-only bulk scan
+        assert all(f >= 8 for f in files[1:])
+        assert txn.write_set == set(files[1:])
+
+    def test_experiment3_declarations_perturbed(self, streams):
+        wl = experiment3_workload(1.0, sigma=1.0)
+        txns = [wl.make_transaction(0.0, streams) for _ in range(50)]
+        # at sigma=1 it is overwhelmingly unlikely all declarations are exact
+        assert any(
+            t.declared_costs != [s.cost for s in t.steps] for t in txns
+        )
+        # but actual step costs stay exact
+        assert all(
+            [s.cost for s in t.steps] == [1.0, 5.0, 0.2, 1.0] for t in txns
+        )
+
+    def test_experiment3_sigma_zero_exact(self, streams):
+        wl = experiment3_workload(1.0, sigma=0.0)
+        txn = wl.make_transaction(0.0, streams)
+        assert txn.declared_costs == [1.0, 5.0, 0.2, 1.0]
+
+    def test_workload_name(self):
+        assert "exp1" in experiment1_workload(1.0).name
+        assert "exp3" in experiment3_workload(1.0, 2.0).name
+
+
+class TestMixedWorkload:
+    def test_labels_assigned(self, streams):
+        from repro.txn import mixed_workload
+
+        wl = mixed_workload(2.0, small_share=0.5)
+        labels = {
+            wl.make_transaction(0.0, streams).label for _ in range(200)
+        }
+        assert labels == {"small", "bulk"}
+
+    def test_share_zero_is_all_bulk(self, streams):
+        from repro.txn import mixed_workload
+
+        wl = mixed_workload(2.0, small_share=0.0)
+        txns = [wl.make_transaction(0.0, streams) for _ in range(50)]
+        assert all(t.label == "bulk" for t in txns)
+        assert all(len(t.steps) == 4 for t in txns)
+
+    def test_share_one_is_all_small(self, streams):
+        from repro.txn import mixed_workload
+
+        wl = mixed_workload(2.0, small_share=1.0)
+        txns = [wl.make_transaction(0.0, streams) for _ in range(50)]
+        assert all(t.label == "small" for t in txns)
+        assert all(len(t.steps) == 1 for t in txns)
+        assert all(t.steps[0].cost == 0.1 for t in txns)
+        assert all(t.steps[0].is_write for t in txns)
+
+    def test_share_validated(self):
+        from repro.txn import MixedWorkload
+
+        with pytest.raises(ValueError):
+            MixedWorkload(1.0, small_share=1.5)
+        with pytest.raises(ValueError):
+            MixedWorkload(1.0, small_cost=0.0)
+
+    def test_restart_copy_keeps_label(self, streams):
+        from repro.txn import mixed_workload
+
+        wl = mixed_workload(2.0, small_share=1.0)
+        txn = wl.make_transaction(0.0, streams)
+        assert txn.restart_copy(99).label == "small"
