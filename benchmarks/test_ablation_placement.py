@@ -8,7 +8,6 @@ paper's consecutive rule is not hiding a pathology.
 """
 
 from repro.analysis import render_table
-from repro.des import Environment
 from repro.machine import DataPlacement, MachineConfig
 from repro.sim.simulation import Simulation
 from repro.txn import experiment1_workload

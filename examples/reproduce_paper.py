@@ -8,10 +8,16 @@ Usage::
 
     python examples/reproduce_paper.py [--scale smoke|quick|paper]
                                        [--only fig8,table2,...]
-                                       [--seed N]
+                                       [--seed N] [--pool N] [--no-cache]
 
 ``--scale paper`` matches the paper's 2,000,000-clock horizon per point
 (slow: hours).  ``quick`` preserves every qualitative shape in minutes.
+
+Runs execute through :class:`repro.runner.ParallelRunner`: ``--pool``
+sets the worker-process count (default: CPU count), completed runs are
+cached under ``<out>/cache/`` so re-invocations (and the overlapping
+points of fig10/table3, fig13/table5) are served from disk, and each
+batch writes a JSON manifest under ``<out>/runs/``.
 """
 
 import argparse
@@ -21,20 +27,21 @@ import time
 
 from repro.analysis import render_table, to_csv
 from repro.experiments import PAPER, QUICK, SMOKE, exp1, exp2, exp3
+from repro.runner import ParallelRunner, ResultCache
 
 SCALES = {"smoke": SMOKE, "quick": QUICK, "paper": PAPER}
 
 EXPERIMENTS = {
-    "fig8": lambda scale, seed: exp1.figure8(scale, seed=seed),
-    "table2": lambda scale, seed: exp1.table2(scale, seed=seed),
-    "fig9": lambda scale, seed: exp1.figure9(scale, seed=seed),
-    "table3": lambda scale, seed: exp1.table3(scale, seed=seed),
-    "fig10": lambda scale, seed: exp1.figure10(scale, seed=seed),
-    "fig11": lambda scale, seed: exp1.figure11(scale, seed=seed),
-    "table4": lambda scale, seed: exp2.table4(scale, seed=seed),
-    "fig12": lambda scale, seed: exp2.figure12(scale, seed=seed),
-    "fig13": lambda scale, seed: exp3.figure13(scale, seed=seed),
-    "table5": lambda scale, seed: exp3.table5(scale=scale, seed=seed),
+    "fig8": exp1.figure8,
+    "table2": exp1.table2,
+    "fig9": exp1.figure9,
+    "table3": exp1.table3,
+    "fig10": exp1.figure10,
+    "fig11": exp1.figure11,
+    "table4": exp2.table4,
+    "fig12": exp2.figure12,
+    "fig13": exp3.figure13,
+    "table5": lambda scale, **kwargs: exp3.table5(scale=scale, **kwargs),
 }
 
 
@@ -48,6 +55,17 @@ def main() -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default="results")
+    parser.add_argument(
+        "--pool",
+        type=int,
+        default=None,
+        help="worker processes for independent runs (default: CPU count)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always re-simulate; do not read or write the result cache",
+    )
     args = parser.parse_args()
 
     scale = SCALES[args.scale]
@@ -58,11 +76,22 @@ def main() -> int:
 
     out_dir = pathlib.Path(args.out) / args.scale
     out_dir.mkdir(parents=True, exist_ok=True)
+    cache = (
+        None if args.no_cache
+        else ResultCache(pathlib.Path(args.out) / "cache")
+    )
+    runner = ParallelRunner(
+        pool_size=args.pool,
+        cache=cache,
+        runs_dir=pathlib.Path(args.out) / "runs",
+    )
 
     for experiment_id in wanted:
         started = time.time()
         print(f"=== {experiment_id} (scale={args.scale}) ...", flush=True)
-        output = EXPERIMENTS[experiment_id](scale, args.seed)
+        output = EXPERIMENTS[experiment_id](
+            scale, seed=args.seed, runner=runner
+        )
         table = render_table(output.headers, output.rows, title=output.title)
         print(table)
         if output.paper_reference:
@@ -74,6 +103,10 @@ def main() -> int:
         (out_dir / f"{experiment_id}.csv").write_text(
             to_csv(output.headers, output.rows)
         )
+    print(
+        f"[runner] pool={runner.pool_size} cache hits={runner.cache_hits} "
+        f"misses={runner.cache_misses} over {runner.runs_completed} runs"
+    )
     print(f"Wrote results to {out_dir}/")
     return 0
 

@@ -21,6 +21,7 @@ Packages:
 - :mod:`repro.core` -- the WTPG and the six schedulers (the paper's
   contribution).
 - :mod:`repro.sim` -- simulation runs, metrics, operating-point search.
+- :mod:`repro.runner` -- parallel batch execution with result caching.
 - :mod:`repro.experiments` -- one function per paper table/figure.
 - :mod:`repro.analysis` -- text-table / CSV reporting.
 """
@@ -33,6 +34,7 @@ from repro.core import (
     create,
 )
 from repro.machine import DataPlacement, MachineConfig, SharedNothingMachine
+from repro.runner import ParallelRunner, ResultCache, RunSpec, WorkloadSpec
 from repro.sim import (
     Simulation,
     SimulationResult,
@@ -60,13 +62,17 @@ __all__ = [
     "PAPER_SCHEDULERS",
     "PATTERN_1",
     "PATTERN_2",
+    "ParallelRunner",
     "Pattern",
+    "ResultCache",
+    "RunSpec",
     "SerializabilityAuditor",
     "SharedNothingMachine",
     "Simulation",
     "SimulationResult",
     "WTPG",
     "Workload",
+    "WorkloadSpec",
     "__version__",
     "available",
     "create",

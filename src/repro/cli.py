@@ -3,6 +3,8 @@
 Commands:
 
 - ``run``         -- one simulation (scheduler, workload, rate, DD...).
+- ``sweep``       -- a scheduler x rate grid through the parallel runner
+  (worker pool + result cache + run manifest).
 - ``schedulers``  -- list the registered schedulers.
 - ``experiments`` -- list the paper's tables/figures and how to run them.
 """
@@ -16,6 +18,7 @@ import typing
 from repro.analysis import render_table
 from repro.core.registry import available
 from repro.machine.config import MachineConfig
+from repro.runner import ParallelRunner, ResultCache, RunSpec, WorkloadSpec
 from repro.sim.simulation import run_simulation
 from repro.txn.workload import (
     experiment1_workload,
@@ -67,6 +70,35 @@ def build_parser() -> argparse.ArgumentParser:
                      help="warm-up ms discarded (default 50000)")
     run.add_argument("--seed", type=int, default=0)
 
+    swp = sub.add_parser(
+        "sweep",
+        help="scheduler x rate grid via the parallel runner (cached)",
+    )
+    swp.add_argument(
+        "schedulers",
+        help="comma-separated scheduler names, e.g. LOW,GOW,C2PL",
+    )
+    swp.add_argument("--rates", default="0.4,0.8,1.2",
+                     help="comma-separated arrival rates in TPS")
+    swp.add_argument("--workload", choices=("exp1", "exp2", "exp3"),
+                     default="exp1")
+    swp.add_argument("--dd", type=int, default=1)
+    swp.add_argument("--num-files", type=int, default=16)
+    swp.add_argument("--num-nodes", type=int, default=8)
+    swp.add_argument("--mpl", type=int, default=None)
+    swp.add_argument("--sigma", type=float, default=1.0)
+    swp.add_argument("--duration", type=float, default=400_000)
+    swp.add_argument("--warmup", type=float, default=50_000)
+    swp.add_argument("--seed", type=int, default=0)
+    swp.add_argument("--pool", type=int, default=None,
+                     help="worker processes (default: CPU count)")
+    swp.add_argument("--cache-dir", default="results/cache",
+                     help="result cache root ('' disables caching)")
+    swp.add_argument("--runs-dir", default="results/runs",
+                     help="run-manifest directory ('' disables manifests)")
+    swp.add_argument("--metric", choices=("rt", "tps"), default="rt",
+                     help="report mean response (s) or throughput (TPS)")
+
     sub.add_parser("schedulers", help="list registered schedulers")
     sub.add_parser("experiments", help="list the paper's tables/figures")
     return parser
@@ -81,7 +113,16 @@ def _make_workload(args: argparse.Namespace):
                                 num_files=args.num_files)
 
 
+def _check_horizon(args: argparse.Namespace) -> None:
+    if not 0 <= args.warmup < args.duration:
+        raise SystemExit(
+            f"--warmup ({args.warmup:g}) must lie inside --duration "
+            f"({args.duration:g}); pass --warmup 0 for no warm-up"
+        )
+
+
 def _command_run(args: argparse.Namespace) -> int:
+    _check_horizon(args)
     config = MachineConfig(
         num_nodes=args.num_nodes,
         num_files=args.num_files,
@@ -118,6 +159,87 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workload_spec(args: argparse.Namespace, rate: float) -> WorkloadSpec:
+    if args.workload == "exp1":
+        return WorkloadSpec.make("exp1", rate, num_files=args.num_files)
+    if args.workload == "exp2":
+        return WorkloadSpec.make("exp2", rate)
+    return WorkloadSpec.make(
+        "exp3", rate, sigma=args.sigma, num_files=args.num_files
+    )
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    schedulers = [s for s in args.schedulers.split(",") if s]
+    rates = [float(r) for r in args.rates.split(",") if r]
+    if not schedulers or not rates:
+        raise SystemExit("sweep needs at least one scheduler and one rate")
+    _check_horizon(args)
+    unknown = sorted(set(schedulers) - set(available()))
+    if unknown:
+        raise SystemExit(
+            f"unknown scheduler(s) {unknown}; available: {available()}"
+        )
+    if args.pool is not None and args.pool < 1:
+        raise SystemExit(f"--pool must be >= 1, got {args.pool}")
+    config = MachineConfig(
+        num_nodes=args.num_nodes,
+        num_files=args.num_files,
+        dd=args.dd,
+        mpl=args.mpl,
+    )
+    runner = ParallelRunner(
+        pool_size=args.pool,
+        cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+        runs_dir=args.runs_dir or None,
+    )
+    specs = [
+        RunSpec(
+            scheduler=scheduler,
+            workload=_workload_spec(args, rate),
+            config=config,
+            seed=args.seed,
+            duration_ms=args.duration,
+            warmup_ms=args.warmup,
+        )
+        for rate in rates
+        for scheduler in schedulers
+    ]
+    results = iter(runner.run_batch(specs, label="cli-sweep"))
+    rows: typing.List[typing.List[object]] = []
+    for rate in rates:
+        row: typing.List[object] = [rate]
+        for _scheduler in schedulers:
+            result = next(results)
+            row.append(
+                result.mean_response_s
+                if args.metric == "rt"
+                else result.throughput_tps
+            )
+        rows.append(row)
+    metric_name = (
+        "mean response (s)" if args.metric == "rt" else "throughput (TPS)"
+    )
+    print(render_table(
+        ["lambda_tps"] + schedulers,
+        rows,
+        title=(
+            f"{metric_name} -- {args.workload}, DD={args.dd}, "
+            f"NumFiles={args.num_files}"
+        ),
+    ))
+    counts = (runner.last_batch or {}).get("counts", {})
+    line = (
+        f"[runner] pool={runner.pool_size} "
+        f"cache hits={counts.get('cache_hits', 0)} "
+        f"misses={counts.get('cache_misses', 0)}"
+    )
+    if runner.last_manifest_path is not None:
+        line += f" manifest={runner.last_manifest_path}"
+    print(line)
+    return 0
+
+
 def _command_schedulers() -> int:
     for name in available():
         print(name)
@@ -139,6 +261,8 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
     try:
         if args.command == "run":
             return _command_run(args)
+        if args.command == "sweep":
+            return _command_sweep(args)
         if args.command == "schedulers":
             return _command_schedulers()
         return _command_experiments()

@@ -105,7 +105,10 @@ class Environment:
 
         - ``None``: run until the event queue drains;
         - a number: run until the clock reaches that time (the clock is set
-          to exactly that time on return);
+          to exactly that time on return).  The end is *exclusive*, as in
+          simpy: events scheduled at exactly ``until`` do not fire, so a
+          measurement window ``[0, until)`` never counts boundary events
+          twice across adjacent windows;
         - an :class:`Event`: run until that event fires, returning its
           value (or raising its exception).
         """
@@ -130,7 +133,7 @@ class Environment:
         while self._queue:
             if stop_event is not None and stop_event.processed:
                 break
-            if self.peek() > stop_at:
+            if self.peek() >= stop_at:
                 break
             self.step()
 

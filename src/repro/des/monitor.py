@@ -15,7 +15,14 @@ reset are discarded so steady-state metrics exclude the ramp-up transient.
 from __future__ import annotations
 
 import math
+import random
 import typing
+
+#: default bound on retained samples: exact percentiles up to this many
+#: observations, reservoir-sampled (still unbiased) beyond it.  Chosen so
+#: a paper-horizon run (~3k commits) stays exact while an unbounded
+#: production run cannot grow memory without limit.
+DEFAULT_SAMPLE_CAP = 16_384
 
 
 class Tally:
@@ -29,11 +36,29 @@ class Tally:
         self.minimum = math.inf
         self.maximum = -math.inf
         self._samples: typing.Optional[typing.List[float]] = None
+        self._sample_cap: typing.Optional[int] = None
+        self._reservoir_rng: typing.Optional[random.Random] = None
 
-    def keep_samples(self) -> "Tally":
-        """Retain raw samples (enables percentiles); returns self."""
+    def keep_samples(
+        self, cap: typing.Optional[int] = DEFAULT_SAMPLE_CAP
+    ) -> "Tally":
+        """Retain raw samples (enables percentiles); returns self.
+
+        At most ``cap`` samples are kept: once more than ``cap`` values
+        have been observed the retained set degrades to a uniform
+        reservoir (algorithm R) so percentiles stay statistically sound
+        while memory is bounded over arbitrarily long runs.  ``cap=None``
+        keeps every sample (the pre-existing unbounded behaviour).
+        """
+        if cap is not None and cap < 1:
+            raise ValueError(f"sample cap must be >= 1 or None, got {cap}")
         if self._samples is None:
             self._samples = []
+        self._sample_cap = cap
+        if cap is not None and self._reservoir_rng is None:
+            # seeded from the tally name only: deterministic across runs
+            # and independent of the host process
+            self._reservoir_rng = random.Random(f"tally-reservoir:{self.name}")
         return self
 
     def observe(self, value: float) -> None:
@@ -47,7 +72,14 @@ class Tally:
         if value > self.maximum:
             self.maximum = value
         if self._samples is not None:
-            self._samples.append(value)
+            if self._sample_cap is None or len(self._samples) < self._sample_cap:
+                self._samples.append(value)
+            else:
+                # reservoir step: the i-th observation replaces a random
+                # slot with probability cap/i, keeping a uniform sample
+                slot = self._reservoir_rng.randrange(self.count)
+                if slot < self._sample_cap:
+                    self._samples[slot] = value
 
     def reset(self) -> None:
         """Discard everything observed so far (warm-up cutoff)."""
@@ -58,6 +90,9 @@ class Tally:
         self.maximum = -math.inf
         if self._samples is not None:
             self._samples = []
+        if self._sample_cap is not None:
+            # re-seed so post-reset draws depend only on post-reset input
+            self._reservoir_rng = random.Random(f"tally-reservoir:{self.name}")
 
     @property
     def mean(self) -> float:
@@ -76,7 +111,11 @@ class Tally:
         return math.sqrt(var) if not math.isnan(var) else math.nan
 
     def percentile(self, q: float) -> float:
-        """q-th percentile (0..100) by nearest-rank; needs keep_samples()."""
+        """q-th percentile (0..100) by nearest-rank; needs keep_samples().
+
+        Exact while at most ``cap`` values were observed, estimated from
+        the uniform reservoir beyond that.
+        """
         if self._samples is None:
             raise RuntimeError("call keep_samples() before percentile()")
         if not self._samples:

@@ -52,5 +52,14 @@ class RandomStreams:
     def sample_without_replacement(
         self, name: str, population: typing.Sequence[int], k: int
     ) -> typing.List[int]:
-        """Draw ``k`` distinct elements from ``population``."""
-        return self.stream(name).sample(list(population), k)
+        """Draw ``k`` distinct elements from ``population``.
+
+        ``population`` is consumed as-is when it is already a sequence
+        (``range`` included) -- this runs once per transaction, so the
+        old per-draw ``list`` copy was a hot-path allocation.  The draw
+        only depends on ``len(population)`` and indexing, so results are
+        identical to sampling from a materialised copy.
+        """
+        if not isinstance(population, (list, tuple, range)):
+            population = tuple(population)
+        return self.stream(name).sample(population, k)

@@ -4,6 +4,13 @@ Pattern 1: ``r(F1:1) -> r(F2:5) -> w(F1:0.2) -> w(F2:1)`` with F1, F2
 drawn distinct from NumFiles files; X-locks from the first touch of each
 file.  This experiment backs Fig. 8, Table 2, Fig. 9, Table 3, Fig. 10
 and Fig. 11.
+
+Every function here accepts an optional
+:class:`~repro.runner.ParallelRunner`.  Each figure's independent cells
+are batched into as few runner calls as possible, so with a pool the
+whole grid fans out across worker processes (and repeat invocations are
+served from the runner's cache); without a runner the same specs execute
+inline, sequentially, with identical results.
 """
 
 from __future__ import annotations
@@ -19,12 +26,16 @@ from repro.experiments.common import (
     RunScale,
 )
 from repro.machine.config import MachineConfig
+from repro.runner.spec import RunSpec, WorkloadSpec
 from repro.sim.experiment import (
+    ThroughputRequest,
     best_mpl_result,
-    find_throughput_at_response_time,
-    run_at_rate,
+    find_throughput_batch,
+    run_specs,
 )
-from repro.txn.workload import experiment1_workload
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.runner.runner import ParallelRunner
 
 #: default arrival-rate grid for the rate sweeps (TPS)
 RATE_GRID = (0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4)
@@ -33,8 +44,8 @@ RATE_GRID = (0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4)
 DD_GRID = (1, 2, 4, 8)
 
 
-def _workload_factory(num_files: int) -> typing.Callable:
-    return lambda rate: experiment1_workload(rate, num_files=num_files)
+def _workload(rate: float, num_files: int) -> WorkloadSpec:
+    return WorkloadSpec.make("exp1", rate, num_files=num_files)
 
 
 def figure8(
@@ -43,29 +54,32 @@ def figure8(
     schedulers: typing.Sequence[str] = SCHEDULERS,
     rates: typing.Sequence[float] = RATE_GRID,
     num_files: int = 16,
+    runner: typing.Optional["ParallelRunner"] = None,
 ) -> ExperimentOutput:
     """Fig. 8: mean response time (s) vs arrival rate at DD = 1."""
     config = MachineConfig(dd=1, num_files=num_files)
-    rows = []
-    for rate in rates:
-        row: typing.List[object] = [rate]
-        for scheduler in schedulers:
-            result = run_at_rate(
-                scheduler,
-                _workload_factory(num_files),
-                rate,
-                config=config,
-                seed=seed,
-                duration_ms=scale.duration_ms,
-                warmup_ms=scale.warmup_ms,
-            )
-            row.append(result.mean_response_s)
-        rows.append(row)
+    specs = [
+        RunSpec(
+            scheduler=scheduler,
+            workload=_workload(rate, num_files),
+            config=config,
+            seed=seed,
+            duration_ms=scale.duration_ms,
+            warmup_ms=scale.warmup_ms,
+        )
+        for rate in rates
+        for scheduler in schedulers
+    ]
+    results = iter(run_specs(specs, runner, label="fig8"))
+    rows = [
+        [rate] + [next(results).mean_response_s for _ in schedulers]
+        for rate in rates
+    ]
     return ExperimentOutput(
         experiment_id="fig8",
         title=f"Fig. 8: arrival rate vs response time (DD=1, NumFiles={num_files})",
         headers=["lambda_tps"] + list(schedulers),
-        rows=rows,
+        rows=typing.cast(typing.List[typing.List[object]], rows),
         paper_reference=(
             "Resources saturate at lambda_NODC = 1.04 TPS; every scheduler "
             "hits RT = 70 s below 70% of that rate (characteristic #1)."
@@ -78,29 +92,32 @@ def table2(
     seed: int = 0,
     schedulers: typing.Sequence[str] = SCHEDULERS,
     file_counts: typing.Sequence[int] = (8, 16, 32, 64),
+    runner: typing.Optional["ParallelRunner"] = None,
 ) -> ExperimentOutput:
     """Table 2: throughput (TPS) at RT = 70 s vs NumFiles at DD = 1."""
-    rows = []
-    for num_files in file_counts:
-        config = MachineConfig(dd=1, num_files=num_files)
-        row: typing.List[object] = [num_files]
-        for scheduler in schedulers:
-            result = find_throughput_at_response_time(
-                scheduler,
-                _workload_factory(num_files),
-                config=config,
-                seed=seed,
-                duration_ms=scale.duration_ms,
-                warmup_ms=scale.warmup_ms,
-                iterations=scale.bisect_iterations,
-            )
-            row.append(result.throughput_tps)
-        rows.append(row)
+    requests = [
+        ThroughputRequest(
+            scheduler=scheduler,
+            workload=_workload(1.0, num_files),
+            config=MachineConfig(dd=1, num_files=num_files),
+            iterations=scale.bisect_iterations,
+            seed=seed,
+            duration_ms=scale.duration_ms,
+            warmup_ms=scale.warmup_ms,
+        )
+        for num_files in file_counts
+        for scheduler in schedulers
+    ]
+    results = iter(find_throughput_batch(requests, runner, label="table2"))
+    rows = [
+        [num_files] + [next(results).throughput_tps for _ in schedulers]
+        for num_files in file_counts
+    ]
     return ExperimentOutput(
         experiment_id="table2",
         title="Table 2: NumFiles vs throughput (TPS) at RT = 70 s, DD = 1",
         headers=["num_files"] + list(schedulers),
-        rows=rows,
+        rows=typing.cast(typing.List[typing.List[object]], rows),
         paper_reference=(
             "Paper values (8/16/32/64 files): NODC 1.02-1.04, ASL .45/.72/.9/.96, "
             "GOW .44/.67/.86/.95, LOW .44/.65/.83/.94, C2PL .25/.35/.5/.62, "
@@ -115,29 +132,32 @@ def figure9(
     schedulers: typing.Sequence[str] = SCHEDULERS,
     dds: typing.Sequence[int] = DD_GRID,
     num_files: int = 16,
+    runner: typing.Optional["ParallelRunner"] = None,
 ) -> ExperimentOutput:
     """Fig. 9: throughput (TPS) at RT = 70 s vs degree of declustering."""
-    rows = []
-    for dd in dds:
-        config = MachineConfig(dd=dd, num_files=num_files)
-        row: typing.List[object] = [dd]
-        for scheduler in schedulers:
-            result = find_throughput_at_response_time(
-                scheduler,
-                _workload_factory(num_files),
-                config=config,
-                seed=seed,
-                duration_ms=scale.duration_ms,
-                warmup_ms=scale.warmup_ms,
-                iterations=scale.bisect_iterations,
-            )
-            row.append(result.throughput_tps)
-        rows.append(row)
+    requests = [
+        ThroughputRequest(
+            scheduler=scheduler,
+            workload=_workload(1.0, num_files),
+            config=MachineConfig(dd=dd, num_files=num_files),
+            iterations=scale.bisect_iterations,
+            seed=seed,
+            duration_ms=scale.duration_ms,
+            warmup_ms=scale.warmup_ms,
+        )
+        for dd in dds
+        for scheduler in schedulers
+    ]
+    results = iter(find_throughput_batch(requests, runner, label="fig9"))
+    rows = [
+        [dd] + [next(results).throughput_tps for _ in schedulers]
+        for dd in dds
+    ]
     return ExperimentOutput(
         experiment_id="fig9",
         title=f"Fig. 9: declustering vs throughput at RT = 70 s (NumFiles={num_files})",
         headers=["dd"] + list(schedulers),
-        rows=rows,
+        rows=typing.cast(typing.List[typing.List[object]], rows),
         paper_reference=(
             "At DD = 2, ASL/LOW/GOW reach ~85% useful resource utilisation, "
             "1.5x the throughput of C2PL; all lock-based converge by DD = 8."
@@ -152,54 +172,51 @@ def table3(
     num_files: int = 16,
     rate: float = 1.2,
     mpl_candidates: typing.Sequence[int] = C2PLM_MPL_CANDIDATES,
+    runner: typing.Optional["ParallelRunner"] = None,
 ) -> ExperimentOutput:
     """Table 3: mean response time (s) at lambda = 1.2 TPS vs DD.
 
     The C2PL column is C2PL+M (the best MPL-controlled C2PL), as in the
     paper's table.
     """
-    schedulers = ("NODC", "ASL", "GOW", "LOW")
+    schedulers = ("NODC", "ASL", "GOW", "LOW", "OPT")
+    workload = _workload(rate, num_files)
+    specs = [
+        RunSpec(
+            scheduler=scheduler,
+            workload=workload,
+            config=MachineConfig(dd=dd, num_files=num_files),
+            seed=seed,
+            duration_ms=scale.duration_ms,
+            warmup_ms=scale.warmup_ms,
+        )
+        for dd in dds
+        for scheduler in schedulers
+    ]
+    fixed_rate = iter(run_specs(specs, runner, label="table3"))
     rows = []
     for dd in dds:
-        config = MachineConfig(dd=dd, num_files=num_files)
-        row: typing.List[object] = [dd]
-        for scheduler in schedulers:
-            result = run_at_rate(
-                scheduler,
-                _workload_factory(num_files),
-                rate,
-                config=config,
-                seed=seed,
-                duration_ms=scale.duration_ms,
-                warmup_ms=scale.warmup_ms,
-            )
-            row.append(result.mean_response_s)
+        by_name = {name: next(fixed_rate) for name in schedulers}
         plus_m = best_mpl_result(
-            _workload_factory(num_files),
-            config,
-            rate,
+            base_config=MachineConfig(dd=dd, num_files=num_files),
+            rate_tps=rate,
             mpl_candidates=mpl_candidates,
+            runner=runner,
+            workload_spec=workload,
             seed=seed,
             duration_ms=scale.duration_ms,
             warmup_ms=scale.warmup_ms,
         )
-        row.append(plus_m.mean_response_s)
-        opt = run_at_rate(
-            "OPT",
-            _workload_factory(num_files),
-            rate,
-            config=config,
-            seed=seed,
-            duration_ms=scale.duration_ms,
-            warmup_ms=scale.warmup_ms,
+        rows.append(
+            [dd]
+            + [by_name[n].mean_response_s for n in ("NODC", "ASL", "GOW", "LOW")]
+            + [plus_m.mean_response_s, by_name["OPT"].mean_response_s]
         )
-        row.append(opt.mean_response_s)
-        rows.append(row)
     return ExperimentOutput(
         experiment_id="table3",
         title=f"Table 3: declustering vs response time (s) at lambda = {rate} TPS",
         headers=["dd", "NODC", "ASL", "GOW", "LOW", "C2PL+M", "OPT"],
-        rows=rows,
+        rows=typing.cast(typing.List[typing.List[object]], rows),
         paper_reference=(
             "Paper (DD=1/2/4/8): NODC 141/103/74/58, ASL 387/183/83/48, "
             "GOW 429/233/102/47, LOW 430/245/107/47, C2PL+M 669/479/250/50, "
@@ -242,10 +259,13 @@ def speedups_from_rt(output: ExperimentOutput) -> ExperimentOutput:
 
 
 def figure10(
-    scale: RunScale = QUICK, seed: int = 0, **kwargs: typing.Any
+    scale: RunScale = QUICK,
+    seed: int = 0,
+    runner: typing.Optional["ParallelRunner"] = None,
+    **kwargs: typing.Any,
 ) -> ExperimentOutput:
     """Fig. 10: response-time speedup vs DD at lambda = 1.2 TPS."""
-    return speedups_from_rt(table3(scale, seed=seed, **kwargs))
+    return speedups_from_rt(table3(scale, seed=seed, runner=runner, **kwargs))
 
 
 def figure11(
@@ -255,30 +275,29 @@ def figure11(
     rates: typing.Sequence[float] = (0.4, 0.6, 0.8, 1.0, 1.2, 1.4),
     dd: int = 4,
     num_files: int = 16,
+    runner: typing.Optional["ParallelRunner"] = None,
 ) -> ExperimentOutput:
     """Fig. 11: response-time speedup (DD=1 -> DD=4) vs arrival rate."""
+    specs = [
+        RunSpec(
+            scheduler=scheduler,
+            workload=_workload(rate, num_files),
+            config=MachineConfig(dd=degree, num_files=num_files),
+            seed=seed,
+            duration_ms=scale.duration_ms,
+            warmup_ms=scale.warmup_ms,
+        )
+        for rate in rates
+        for scheduler in schedulers
+        for degree in (1, dd)
+    ]
+    results = iter(run_specs(specs, runner, label="fig11"))
     rows = []
     for rate in rates:
         row: typing.List[object] = [rate]
-        for scheduler in schedulers:
-            base = run_at_rate(
-                scheduler,
-                _workload_factory(num_files),
-                rate,
-                config=MachineConfig(dd=1, num_files=num_files),
-                seed=seed,
-                duration_ms=scale.duration_ms,
-                warmup_ms=scale.warmup_ms,
-            )
-            fast = run_at_rate(
-                scheduler,
-                _workload_factory(num_files),
-                rate,
-                config=MachineConfig(dd=dd, num_files=num_files),
-                seed=seed,
-                duration_ms=scale.duration_ms,
-                warmup_ms=scale.warmup_ms,
-            )
+        for _scheduler in schedulers:
+            base = next(results)
+            fast = next(results)
             row.append(fast.speedup_against(base))
         rows.append(row)
     return ExperimentOutput(

@@ -3,6 +3,10 @@
 Pattern 2: ``r(B:5) -> w(F1:1) -> w(F2:1)`` with B from 8 read-only files
 and F1 != F2 from 8 hot files; every node is home to one read-only and
 one hot file.  Backs Table 4 and Fig. 12.
+
+Both functions accept an optional
+:class:`~repro.runner.ParallelRunner`; see :mod:`repro.experiments.exp1`
+for the batching convention.
 """
 
 from __future__ import annotations
@@ -16,12 +20,19 @@ from repro.experiments.common import (
     RunScale,
 )
 from repro.machine.config import MachineConfig
-from repro.sim.experiment import find_throughput_at_response_time, run_at_rate
-from repro.txn.workload import experiment2_workload
+from repro.runner.spec import RunSpec, WorkloadSpec
+from repro.sim.experiment import (
+    ThroughputRequest,
+    find_throughput_batch,
+    run_specs,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.runner.runner import ParallelRunner
 
 
-def _workload_factory(rate: float):
-    return experiment2_workload(rate)
+def _workload(rate: float) -> WorkloadSpec:
+    return WorkloadSpec.make("exp2", rate)
 
 
 def table4(
@@ -30,42 +41,52 @@ def table4(
     schedulers: typing.Sequence[str] = SCHEDULERS,
     dds: typing.Sequence[int] = (1, 2, 4),
     rate: float = 1.2,
+    runner: typing.Optional["ParallelRunner"] = None,
 ) -> ExperimentOutput:
     """Table 4: throughput at RT = 70 s and response time at 1.2 TPS.
 
     One row per (metric, DD) pair, matching the paper's layout.
     """
-    rows = []
-    for dd in dds:
-        config = MachineConfig(dd=dd, num_files=16)
-        row: typing.List[object] = [f"thruput DD={dd}"]
-        for scheduler in schedulers:
-            result = find_throughput_at_response_time(
-                scheduler,
-                _workload_factory,
-                config=config,
-                seed=seed,
-                duration_ms=scale.duration_ms,
-                warmup_ms=scale.warmup_ms,
-                iterations=scale.bisect_iterations,
-            )
-            row.append(result.throughput_tps)
-        rows.append(row)
-    for dd in dds:
-        config = MachineConfig(dd=dd, num_files=16)
-        row = [f"resp.time DD={dd}"]
-        for scheduler in schedulers:
-            result = run_at_rate(
-                scheduler,
-                _workload_factory,
-                rate,
-                config=config,
-                seed=seed,
-                duration_ms=scale.duration_ms,
-                warmup_ms=scale.warmup_ms,
-            )
-            row.append(result.mean_response_s)
-        rows.append(row)
+    requests = [
+        ThroughputRequest(
+            scheduler=scheduler,
+            workload=_workload(1.0),
+            config=MachineConfig(dd=dd, num_files=16),
+            iterations=scale.bisect_iterations,
+            seed=seed,
+            duration_ms=scale.duration_ms,
+            warmup_ms=scale.warmup_ms,
+        )
+        for dd in dds
+        for scheduler in schedulers
+    ]
+    throughput = iter(
+        find_throughput_batch(requests, runner, label="table4:thruput")
+    )
+    rows = [
+        [f"thruput DD={dd}"]
+        + [next(throughput).throughput_tps for _ in schedulers]
+        for dd in dds
+    ]
+
+    specs = [
+        RunSpec(
+            scheduler=scheduler,
+            workload=_workload(rate),
+            config=MachineConfig(dd=dd, num_files=16),
+            seed=seed,
+            duration_ms=scale.duration_ms,
+            warmup_ms=scale.warmup_ms,
+        )
+        for dd in dds
+        for scheduler in schedulers
+    ]
+    fixed_rate = iter(run_specs(specs, runner, label="table4:rt"))
+    rows += [
+        [f"resp.time DD={dd}"]
+        + [next(fixed_rate).mean_response_s for _ in schedulers]
+        for dd in dds
+    ]
     return ExperimentOutput(
         experiment_id="table4",
         title=(
@@ -73,7 +94,7 @@ def table4(
             f"time (s at {rate} TPS) vs DD"
         ),
         headers=["metric"] + list(schedulers),
-        rows=rows,
+        rows=typing.cast(typing.List[typing.List[object]], rows),
         paper_reference=(
             "Paper throughput (DD=1/2/4): NODC 1.1/1.11/1.13, ASL .4/.7/1.03, "
             "GOW .57/.88/1.1, LOW .77/1.01/1.12, C2PL .7/.92/1.09, OPT .38/.55/.85. "
@@ -90,23 +111,28 @@ def figure12(
     schedulers: typing.Sequence[str] = SCHEDULERS,
     dds: typing.Sequence[int] = (1, 2, 4, 8),
     rate: float = 1.2,
+    runner: typing.Optional["ParallelRunner"] = None,
 ) -> ExperimentOutput:
     """Fig. 12: response-time speedup vs DD at 1.2 TPS on the hot set."""
-    base_results = {}
+    specs = [
+        RunSpec(
+            scheduler=scheduler,
+            workload=_workload(rate),
+            config=MachineConfig(dd=dd, num_files=16),
+            seed=seed,
+            duration_ms=scale.duration_ms,
+            warmup_ms=scale.warmup_ms,
+        )
+        for dd in dds
+        for scheduler in schedulers
+    ]
+    results = iter(run_specs(specs, runner, label="fig12"))
+    base_results: typing.Dict[str, typing.Any] = {}
     rows = []
     for dd in dds:
-        config = MachineConfig(dd=dd, num_files=16)
         row: typing.List[object] = [dd]
         for scheduler in schedulers:
-            result = run_at_rate(
-                scheduler,
-                _workload_factory,
-                rate,
-                config=config,
-                seed=seed,
-                duration_ms=scale.duration_ms,
-                warmup_ms=scale.warmup_ms,
-            )
+            result = next(results)
             if dd == dds[0]:
                 base_results[scheduler] = result
             row.append(result.speedup_against(base_results[scheduler]))

@@ -5,6 +5,11 @@ Pattern 1 with declared costs ``C = C0 * (1 + x)``, ``x ~ N(0, sigma)``
 declarations while the actual scans use the exact costs.  Backs Fig. 13
 and Table 5; C2PL (which cannot avoid blocking chains at all) is the
 lower bound the paper compares against.
+
+Both functions accept an optional
+:class:`~repro.runner.ParallelRunner`; every (scheduler, DD, sigma)
+bisection of Fig. 13 -- the C2PL floors included -- runs as one lockstep
+batch, which is where the parallel runner pays off most.
 """
 
 from __future__ import annotations
@@ -14,15 +19,18 @@ import typing
 
 from repro.experiments.common import ExperimentOutput, QUICK, RunScale
 from repro.machine.config import MachineConfig
-from repro.sim.experiment import find_throughput_at_response_time
-from repro.txn.workload import experiment3_workload
+from repro.runner.spec import WorkloadSpec
+from repro.sim.experiment import ThroughputRequest, find_throughput_batch
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.runner.runner import ParallelRunner
 
 #: the error levels plotted in Fig. 13
 SIGMA_GRID = (0.0, 0.5, 1.0, 2.0, 5.0, 10.0)
 
 
-def _workload_factory(sigma: float, num_files: int):
-    return lambda rate: experiment3_workload(rate, sigma, num_files=num_files)
+def _workload(sigma: float, num_files: int) -> WorkloadSpec:
+    return WorkloadSpec.make("exp3", 1.0, sigma=sigma, num_files=num_files)
 
 
 def figure13(
@@ -33,6 +41,7 @@ def figure13(
     dds: typing.Sequence[int] = (1, 2, 4),
     num_files: int = 16,
     include_c2pl_floor: bool = True,
+    runner: typing.Optional["ParallelRunner"] = None,
 ) -> ExperimentOutput:
     """Fig. 13: throughput at RT = 70 s vs declaration-error sigma.
 
@@ -48,35 +57,39 @@ def figure13(
         for dd in dds:
             headers.append(f"C2PL@DD={dd}")
 
+    def request(scheduler: str, sigma: float, dd: int) -> ThroughputRequest:
+        return ThroughputRequest(
+            scheduler=scheduler,
+            workload=_workload(sigma, num_files),
+            config=MachineConfig(dd=dd, num_files=num_files),
+            iterations=scale.bisect_iterations,
+            seed=seed,
+            duration_ms=scale.duration_ms,
+            warmup_ms=scale.warmup_ms,
+        )
+
+    requests = []
+    if include_c2pl_floor:
+        requests += [request("C2PL", 0.0, dd) for dd in dds]
+    requests += [
+        request(scheduler, sigma, dd)
+        for sigma in sigmas
+        for dd in dds
+        for scheduler in schedulers
+    ]
+    results = iter(find_throughput_batch(requests, runner, label="fig13"))
+
     floor: typing.Dict[int, float] = {}
     if include_c2pl_floor:
         for dd in dds:
-            result = find_throughput_at_response_time(
-                "C2PL",
-                _workload_factory(0.0, num_files),
-                config=MachineConfig(dd=dd, num_files=num_files),
-                seed=seed,
-                duration_ms=scale.duration_ms,
-                warmup_ms=scale.warmup_ms,
-                iterations=scale.bisect_iterations,
-            )
-            floor[dd] = result.throughput_tps
+            floor[dd] = next(results).throughput_tps
 
     rows = []
     for sigma in sigmas:
         row: typing.List[object] = [sigma]
         for dd in dds:
-            for scheduler in schedulers:
-                result = find_throughput_at_response_time(
-                    scheduler,
-                    _workload_factory(sigma, num_files),
-                    config=MachineConfig(dd=dd, num_files=num_files),
-                    seed=seed,
-                    duration_ms=scale.duration_ms,
-                    warmup_ms=scale.warmup_ms,
-                    iterations=scale.bisect_iterations,
-                )
-                row.append(result.throughput_tps)
+            for _scheduler in schedulers:
+                row.append(next(results).throughput_tps)
         if include_c2pl_floor:
             for dd in dds:
                 row.append(floor[dd])
@@ -100,6 +113,7 @@ def table5(
     seed: int = 0,
     dds: typing.Sequence[int] = (1, 2, 4),
     num_files: int = 16,
+    runner: typing.Optional["ParallelRunner"] = None,
 ) -> ExperimentOutput:
     """Table 5: degradation ratio TPS(sigma=10) / TPS(sigma=0) per DD.
 
@@ -114,6 +128,7 @@ def table5(
             dds=dds,
             num_files=num_files,
             include_c2pl_floor=False,
+            runner=runner,
         )
     sigma_column = figure13_output.column("sigma")
     try:

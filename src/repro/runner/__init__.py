@@ -1,0 +1,45 @@
+"""Parallel run orchestration: specs, cache, workers and manifests.
+
+The paper's tables each need dozens of independent simulation runs;
+this package executes them across worker processes and memoises every
+completed run on disk, so repeated sweeps and bisections reuse prior
+work.  See ``docs/RUNNER.md`` for the cache and manifest layout.
+
+Public surface:
+
+- :class:`RunSpec` / :class:`WorkloadSpec` -- declarative run inputs.
+- :class:`ResultCache` -- content-addressed result store.
+- :class:`ParallelRunner` -- batch executor (pool + cache + manifest).
+- :func:`execute_spec` -- one spec, inline, no orchestration.
+- :func:`default_runner` -- runner over the ``results/`` layout.
+"""
+
+from repro.runner.cache import ResultCache
+from repro.runner.runner import (
+    ParallelRunner,
+    RunEvent,
+    default_runner,
+    print_progress,
+)
+from repro.runner.spec import (
+    CACHE_FORMAT_VERSION,
+    RunSpec,
+    WorkloadSpec,
+    register_workload,
+    workload_kinds,
+)
+from repro.runner.worker import execute_spec
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "ParallelRunner",
+    "ResultCache",
+    "RunEvent",
+    "RunSpec",
+    "WorkloadSpec",
+    "default_runner",
+    "execute_spec",
+    "print_progress",
+    "register_workload",
+    "workload_kinds",
+]

@@ -1,0 +1,65 @@
+"""Disk cache of simulation results, keyed by run-spec content hash.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` -- two-level fan-out keeps any
+single directory small when sweeps accumulate thousands of entries.
+Each entry stores the spec alongside the result so the cache is
+self-describing and auditable.
+
+Writes go through a same-directory temp file + ``os.replace`` so a
+killed run never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import typing
+
+from repro.runner.spec import CACHE_FORMAT_VERSION, RunSpec
+from repro.sim.metrics import SimulationResult
+
+
+class ResultCache:
+    """Content-addressed store of :class:`SimulationResult`s."""
+
+    def __init__(self, root: typing.Union[str, pathlib.Path]) -> None:
+        self.root = pathlib.Path(root)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, spec: RunSpec) -> typing.Optional[SimulationResult]:
+        """The cached result for ``spec``, or None on a miss."""
+        path = self.path_for(spec.cache_key())
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("version") != CACHE_FORMAT_VERSION:
+            return None
+        try:
+            return SimulationResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return None  # corrupt or written by an incompatible build
+
+    def put(self, spec: RunSpec, result: SimulationResult) -> pathlib.Path:
+        """Store ``result`` under ``spec``'s key; returns the entry path."""
+        key = spec.cache_key()
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

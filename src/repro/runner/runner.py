@@ -1,0 +1,291 @@
+"""Parallel batch execution of run specs with caching and manifests.
+
+:class:`ParallelRunner` takes batches of :class:`~repro.runner.spec.RunSpec`
+and returns their :class:`~repro.sim.metrics.SimulationResult`s in input
+order, no matter how execution interleaves:
+
+- duplicate specs inside a batch are *coalesced* (simulated once);
+- specs seen before are served from the :class:`ResultCache`;
+- the remainder fans out over a process pool, streaming a progress line
+  per completed run;
+- every batch appends a JSON manifest under ``runs_dir`` recording the
+  specs, git SHA, wall time and cache hit/miss counts.
+
+Because each run is a pure function of its spec, results are identical
+for any pool size -- the determinism tests assert byte-identical output
+for pool sizes 1 and N.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import json
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import time
+import typing
+
+from repro.runner.cache import ResultCache
+from repro.runner.spec import RunSpec
+from repro.runner.worker import execute_indexed, execute_spec
+from repro.sim.metrics import SimulationResult
+
+
+@dataclasses.dataclass(frozen=True)
+class RunEvent:
+    """One progress notification streamed while a batch executes.
+
+    ``kind`` is ``batch-start``, ``run-done`` or ``batch-done``; ``done``
+    counts completed runs (cached ones included), ``cached`` flags a
+    cache hit for ``run-done`` events.
+    """
+
+    kind: str
+    label: str
+    done: int
+    total: int
+    spec: typing.Optional[RunSpec] = None
+    cached: bool = False
+    elapsed_s: float = 0.0
+
+
+def print_progress(event: RunEvent, stream: typing.TextIO = sys.stderr) -> None:
+    """Default progress listener: one console line per event."""
+    if event.kind == "batch-start":
+        print(
+            f"[runner] {event.label}: {event.total} run(s), "
+            f"{event.done} cached",
+            file=stream,
+            flush=True,
+        )
+    elif event.kind == "run-done":
+        origin = "cache" if event.cached else f"{event.elapsed_s:.1f}s"
+        desc = event.spec.describe() if event.spec is not None else "?"
+        print(
+            f"[runner] {event.label}: {event.done}/{event.total} "
+            f"{desc} ({origin})",
+            file=stream,
+            flush=True,
+        )
+    elif event.kind == "batch-done":
+        print(
+            f"[runner] {event.label}: done in {event.elapsed_s:.1f}s",
+            file=stream,
+            flush=True,
+        )
+
+
+def _git_sha() -> typing.Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _slug(label: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", label).strip("-") or "batch"
+
+
+class ParallelRunner:
+    """Executes spec batches across worker processes, cache-first."""
+
+    def __init__(
+        self,
+        pool_size: typing.Optional[int] = None,
+        cache: typing.Optional[ResultCache] = None,
+        runs_dir: typing.Optional[typing.Union[str, pathlib.Path]] = None,
+        progress: typing.Optional[
+            typing.Callable[[RunEvent], None]
+        ] = print_progress,
+    ) -> None:
+        if pool_size is not None and pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        self.pool_size = pool_size or os.cpu_count() or 1
+        self.cache = cache
+        self.runs_dir = pathlib.Path(runs_dir) if runs_dir is not None else None
+        self.progress = progress
+        #: cumulative counters across all batches of this runner
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.runs_completed = 0
+        #: manifest payload and path of the most recent batch
+        self.last_batch: typing.Optional[typing.Dict[str, typing.Any]] = None
+        self.last_manifest_path: typing.Optional[pathlib.Path] = None
+        self._session = f"{time.strftime('%Y%m%d-%H%M%S')}-{os.getpid()}"
+        self._batch_seq = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def run_one(self, spec: RunSpec, label: str = "run") -> SimulationResult:
+        """Execute (or fetch) a single spec."""
+        return self.run_batch([spec], label=label)[0]
+
+    def run_batch(
+        self, specs: typing.Sequence[RunSpec], label: str = "batch"
+    ) -> typing.List[SimulationResult]:
+        """Execute ``specs``, returning results in input order."""
+        specs = list(specs)
+        started = time.time()
+        results: typing.List[typing.Optional[SimulationResult]] = (
+            [None] * len(specs)
+        )
+        cached_flags = [False] * len(specs)
+
+        # coalesce duplicates: one simulation per distinct cache key
+        by_key: typing.Dict[str, typing.List[int]] = {}
+        keys = [spec.cache_key() for spec in specs]
+        for index, key in enumerate(keys):
+            by_key.setdefault(key, []).append(index)
+
+        pending: typing.List[int] = []  # first index of each key to compute
+        for key, indices in by_key.items():
+            hit = self.cache.get(specs[indices[0]]) if self.cache else None
+            if hit is not None:
+                for index in indices:
+                    results[index] = hit
+                    cached_flags[index] = True
+            else:
+                pending.append(indices[0])
+        hits = sum(cached_flags)
+        self.cache_hits += hits
+        self.cache_misses += len(specs) - hits
+
+        done = hits
+        self._emit(RunEvent("batch-start", label, done, len(specs)))
+        for index, result, elapsed_s in self._execute(specs, pending):
+            if self.cache is not None:
+                self.cache.put(specs[index], result)
+            for twin in by_key[keys[index]]:
+                results[twin] = result
+            done += len(by_key[keys[index]])
+            self._emit(
+                RunEvent(
+                    "run-done",
+                    label,
+                    done,
+                    len(specs),
+                    spec=specs[index],
+                    elapsed_s=elapsed_s,
+                )
+            )
+        wall_s = time.time() - started
+        self.runs_completed += len(specs)
+        self._emit(
+            RunEvent("batch-done", label, done, len(specs), elapsed_s=wall_s)
+        )
+        self._write_manifest(label, specs, keys, cached_flags, wall_s)
+        return typing.cast(typing.List[SimulationResult], results)
+
+    # -- execution ----------------------------------------------------------
+
+    def _execute(
+        self, specs: typing.Sequence[RunSpec], pending: typing.Sequence[int]
+    ) -> typing.Iterator[typing.Tuple[int, SimulationResult, float]]:
+        """Yield ``(index, result, elapsed_s)`` for every pending index."""
+        if not pending:
+            return
+        workers = min(self.pool_size, len(pending))
+        if workers == 1:
+            for index in pending:
+                run_started = time.time()
+                yield index, execute_spec(specs[index]), (
+                    time.time() - run_started
+                )
+            return
+        batch_started = time.time()
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers
+        ) as pool:
+            futures = [
+                pool.submit(execute_indexed, (index, specs[index]))
+                for index in pending
+            ]
+            for future in concurrent.futures.as_completed(futures):
+                index, result = future.result()
+                # per-run wall time is unobservable from here; report the
+                # time since the batch started (monotone, still useful)
+                yield index, result, time.time() - batch_started
+
+    # -- manifest -----------------------------------------------------------
+
+    def _write_manifest(
+        self,
+        label: str,
+        specs: typing.Sequence[RunSpec],
+        keys: typing.Sequence[str],
+        cached_flags: typing.Sequence[bool],
+        wall_s: float,
+    ) -> None:
+        self._batch_seq += 1
+        hits = sum(cached_flags)
+        simulated = len({k for k, c in zip(keys, cached_flags) if not c})
+        payload = {
+            "label": label,
+            "session": self._session,
+            "batch": self._batch_seq,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "git_sha": _git_sha(),
+            "pool_size": self.pool_size,
+            "wall_s": round(wall_s, 3),
+            "counts": {
+                "total": len(specs),
+                "cache_hits": hits,
+                "cache_misses": len(specs) - hits,
+                "simulated": simulated,
+                "coalesced": (len(specs) - hits) - simulated,
+            },
+            "runs": [
+                {
+                    "key": key,
+                    "cached": cached,
+                    "spec": spec.to_dict(),
+                }
+                for spec, key, cached in zip(specs, keys, cached_flags)
+            ],
+        }
+        self.last_batch = payload
+        self.last_manifest_path = None
+        if self.runs_dir is None:
+            return
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        name = f"{self._session}-b{self._batch_seq:03d}-{_slug(label)}.json"
+        path = self.runs_dir / name
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        os.replace(tmp, path)
+        self.last_manifest_path = path
+
+    def _emit(self, event: RunEvent) -> None:
+        if self.progress is not None:
+            self.progress(event)
+
+
+def default_runner(
+    pool_size: typing.Optional[int] = None,
+    cache_dir: typing.Optional[typing.Union[str, pathlib.Path]] = (
+        "results/cache"
+    ),
+    runs_dir: typing.Optional[typing.Union[str, pathlib.Path]] = (
+        "results/runs"
+    ),
+    progress: typing.Optional[
+        typing.Callable[[RunEvent], None]
+    ] = print_progress,
+) -> ParallelRunner:
+    """A runner with the conventional on-disk layout under ``results/``."""
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    return ParallelRunner(
+        pool_size=pool_size, cache=cache, runs_dir=runs_dir, progress=progress
+    )

@@ -1,0 +1,33 @@
+"""The function worker processes execute: one spec -> one result.
+
+Kept in its own importable module so :mod:`multiprocessing` can pickle
+it by reference under any start method (fork and spawn alike).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.runner.spec import RunSpec
+from repro.sim.metrics import SimulationResult
+from repro.sim.simulation import run_simulation
+
+
+def execute_spec(spec: RunSpec) -> SimulationResult:
+    """Run the simulation a spec describes; pure given the spec."""
+    return run_simulation(
+        spec.scheduler,
+        spec.workload.build(),
+        spec.config,
+        seed=spec.seed,
+        duration_ms=spec.duration_ms,
+        warmup_ms=spec.warmup_ms,
+    )
+
+
+def execute_indexed(
+    job: typing.Tuple[int, RunSpec],
+) -> typing.Tuple[int, SimulationResult]:
+    """Pool-friendly wrapper carrying the batch index through the pool."""
+    index, spec = job
+    return index, execute_spec(spec)

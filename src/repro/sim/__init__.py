@@ -2,9 +2,12 @@
 
 from repro.sim.experiment import (
     TARGET_RT_MS,
+    ThroughputRequest,
     best_mpl_result,
     find_throughput_at_response_time,
+    find_throughput_batch,
     run_at_rate,
+    run_specs,
     sweep,
 )
 from repro.sim.metrics import MetricsCollector, SimulationResult
@@ -18,9 +21,12 @@ __all__ = [
     "Simulation",
     "SimulationResult",
     "TARGET_RT_MS",
+    "ThroughputRequest",
     "best_mpl_result",
     "find_throughput_at_response_time",
+    "find_throughput_batch",
     "run_at_rate",
+    "run_specs",
     "estimate",
     "replicate",
     "run_simulation",

@@ -9,17 +9,35 @@ The paper reports two kinds of operating points:
   and 13).  :func:`find_throughput_at_response_time` performs that
   tuning by bisection on the arrival rate, treating an unstable run
   (response time exploding past the target) as "too fast".
+
+Every search here can execute through a
+:class:`~repro.runner.ParallelRunner`: pass ``runner`` (and, where a
+factory callable is otherwise used, a declarative ``workload_spec``) and
+independent probes fan out across worker processes and are memoised in
+the runner's disk cache.  :func:`find_throughput_batch` runs many
+bisections in lockstep -- each round batches the next probe of every
+unfinished search -- which is how the table/figure sweeps parallelise
+work that is sequential within a single search.  Results are identical
+to the sequential code path because each probe is a pure function of its
+spec.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import typing
+import warnings
 
 from repro.machine.config import MachineConfig
+from repro.runner.spec import RunSpec, WorkloadSpec
+from repro.runner.worker import execute_spec
 from repro.sim.metrics import SimulationResult
 from repro.sim.simulation import Simulation
 from repro.txn.workload import Workload
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
+    from repro.runner.runner import ParallelRunner
 
 WorkloadFactory = typing.Callable[[float], Workload]
 
@@ -49,9 +67,149 @@ def run_at_rate(
     ).run()
 
 
+def run_specs(
+    specs: typing.Sequence[RunSpec],
+    runner: typing.Optional["ParallelRunner"] = None,
+    label: str = "batch",
+) -> typing.List[SimulationResult]:
+    """Execute ``specs`` through ``runner``, or inline when no runner.
+
+    The inline path performs the exact same simulations sequentially, so
+    callers can be written once against specs and gain parallelism and
+    caching only when a runner is supplied.
+    """
+    if runner is not None:
+        return runner.run_batch(specs, label=label)
+    return [execute_spec(spec) for spec in specs]
+
+
+def _above_target(result: SimulationResult, target_rt_ms: float) -> bool:
+    rt = result.mean_response_ms
+    return math.isnan(rt) or rt > target_rt_ms
+
+
+@dataclasses.dataclass(frozen=True)
+class ThroughputRequest:
+    """One bisection search, declaratively (see
+    :func:`find_throughput_at_response_time` for the semantics)."""
+
+    scheduler: str
+    workload: WorkloadSpec
+    config: MachineConfig = MachineConfig()
+    target_rt_ms: float = TARGET_RT_MS
+    rate_lo: float = 0.02
+    rate_hi: float = 1.5
+    iterations: int = 9
+    seed: int = 0
+    duration_ms: float = 2_000_000.0
+    warmup_ms: float = 0.0
+
+    def spec_at(self, rate_tps: float) -> RunSpec:
+        return RunSpec(
+            scheduler=self.scheduler,
+            workload=self.workload.at_rate(rate_tps),
+            config=self.config,
+            seed=self.seed,
+            duration_ms=self.duration_ms,
+            warmup_ms=self.warmup_ms,
+        )
+
+
+class _BisectionState:
+    """Drives one search probe-by-probe; mirrors the sequential logic."""
+
+    def __init__(self, request: ThroughputRequest) -> None:
+        self.request = request
+        self.phase = "hi"  # "hi" -> "lo" -> "bisect" -> "done"
+        self.lo = request.rate_lo
+        self.hi = request.rate_hi
+        self.steps = 0
+        self.best: typing.Optional[SimulationResult] = None
+        self.result: typing.Optional[SimulationResult] = None
+        self._probe_rate = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.phase == "done"
+
+    def next_spec(self) -> RunSpec:
+        if self.phase == "hi":
+            self._probe_rate = self.hi
+        elif self.phase == "lo":
+            self._probe_rate = self.lo
+        else:
+            self._probe_rate = (self.lo + self.hi) / 2.0
+        return self.request.spec_at(self._probe_rate)
+
+    def feed(self, result: SimulationResult) -> None:
+        above = _above_target(result, self.request.target_rt_ms)
+        if self.phase == "hi":
+            if not above:
+                self._finish(result)  # even the fastest rate meets target
+            else:
+                self.phase = "lo"
+        elif self.phase == "lo":
+            if above:
+                self._finish(result)  # target unreachable: report floor
+            else:
+                self.best = result
+                self.phase = "bisect"
+                if self.steps >= self.request.iterations:
+                    self._finish(self.best)
+        else:
+            if above:
+                self.hi = self._probe_rate
+            else:
+                self.lo = self._probe_rate
+                self.best = result
+            self.steps += 1
+            if self.steps >= self.request.iterations:
+                self._finish(typing.cast(SimulationResult, self.best))
+
+    def _finish(self, result: SimulationResult) -> None:
+        self.result = result
+        self.phase = "done"
+
+
+def find_throughput_batch(
+    requests: typing.Sequence[ThroughputRequest],
+    runner: typing.Optional["ParallelRunner"] = None,
+    label: str = "rt-target",
+) -> typing.List[SimulationResult]:
+    """Run many rate bisections in lockstep.
+
+    Each round collects the next probe of every unfinished search into
+    one batch, so independent searches proceed in parallel even though
+    probes within a search are inherently sequential.  Per search, the
+    probes (and hence the returned result) are exactly those of
+    :func:`find_throughput_at_response_time`.
+    """
+    states = [_BisectionState(request) for request in requests]
+    round_no = 0
+    while True:
+        active = [state for state in states if not state.done]
+        if not active:
+            break
+        round_no += 1
+        specs = [state.next_spec() for state in active]
+        results = run_specs(specs, runner, label=f"{label}:round{round_no}")
+        for state, result in zip(active, results):
+            state.feed(result)
+    return [typing.cast(SimulationResult, state.result) for state in states]
+
+
+def _reject_extra_kwargs(kwargs: typing.Mapping[str, typing.Any]) -> None:
+    if kwargs:
+        raise ValueError(
+            "keyword arguments "
+            f"{sorted(kwargs)} cannot be expressed as a RunSpec; "
+            "drop the runner/workload_spec to use the direct path"
+        )
+
+
 def find_throughput_at_response_time(
     scheduler: str,
-    workload_factory: WorkloadFactory,
+    workload_factory: typing.Optional[WorkloadFactory] = None,
     config: typing.Optional[MachineConfig] = None,
     target_rt_ms: float = TARGET_RT_MS,
     rate_lo: float = 0.02,
@@ -60,6 +218,8 @@ def find_throughput_at_response_time(
     seed: int = 0,
     duration_ms: float = 2_000_000.0,
     warmup_ms: float = 0.0,
+    runner: typing.Optional["ParallelRunner"] = None,
+    workload_spec: typing.Optional[WorkloadSpec] = None,
     **kwargs: typing.Any,
 ) -> SimulationResult:
     """Bisect the arrival rate until mean RT hits ``target_rt_ms``.
@@ -68,7 +228,30 @@ def find_throughput_at_response_time(
     ``throughput_tps`` is the paper's "throughput at RT = 70 s".  Mean
     response time is monotone in the arrival rate, and NaN response
     times (no commits: hopeless overload) count as above target.
+
+    With ``workload_spec`` (instead of, or in addition to, the factory
+    callable) the probes run as :class:`RunSpec`s -- through ``runner``
+    when one is given, gaining its cache and process pool.
     """
+    if workload_spec is not None:
+        _reject_extra_kwargs(kwargs)
+        request = ThroughputRequest(
+            scheduler=scheduler,
+            workload=workload_spec,
+            config=config or MachineConfig(),
+            target_rt_ms=target_rt_ms,
+            rate_lo=rate_lo,
+            rate_hi=rate_hi,
+            iterations=iterations,
+            seed=seed,
+            duration_ms=duration_ms,
+            warmup_ms=warmup_ms,
+        )
+        return find_throughput_batch(
+            [request], runner, label=f"rt-target:{scheduler}"
+        )[0]
+    if workload_factory is None:
+        raise TypeError("need a workload_factory or a workload_spec")
 
     def response_at(rate: float) -> SimulationResult:
         return run_at_rate(
@@ -82,26 +265,22 @@ def find_throughput_at_response_time(
             **kwargs,
         )
 
-    def above_target(result: SimulationResult) -> bool:
-        rt = result.mean_response_ms
-        return math.isnan(rt) or rt > target_rt_ms
-
     lo, hi = rate_lo, rate_hi
     best: typing.Optional[SimulationResult] = None
 
     hi_result = response_at(hi)
-    if not above_target(hi_result):
+    if not _above_target(hi_result, target_rt_ms):
         return hi_result  # even the fastest probed rate meets the target
 
     lo_result = response_at(lo)
-    if above_target(lo_result):
+    if _above_target(lo_result, target_rt_ms):
         return lo_result  # target unreachable; report the floor probe
 
     best = lo_result
     for _ in range(iterations):
         mid = (lo + hi) / 2.0
         result = response_at(mid)
-        if above_target(result):
+        if _above_target(result, target_rt_ms):
             hi = mid
         else:
             lo = mid
@@ -111,43 +290,129 @@ def find_throughput_at_response_time(
 
 def sweep(
     schedulers: typing.Iterable[str],
-    runner: typing.Callable[[str], SimulationResult],
+    runner: typing.Optional[
+        typing.Callable[[str], SimulationResult]
+    ] = None,
+    spec_for: typing.Optional[typing.Callable[[str], RunSpec]] = None,
+    parallel: typing.Optional["ParallelRunner"] = None,
+    label: str = "sweep",
 ) -> typing.Dict[str, SimulationResult]:
-    """Run ``runner`` for each scheduler name, keyed by name."""
-    return {name: runner(name) for name in schedulers}
+    """Run one result per scheduler name, keyed by name.
+
+    Two forms:
+
+    - ``sweep(names, runner)`` -- the original callable form, executed
+      sequentially in-process;
+    - ``sweep(names, spec_for=..., parallel=...)`` -- ``spec_for`` maps
+      each name to a :class:`RunSpec` and the whole sweep executes as
+      one batch on the parallel runner (``parallel=None`` still works:
+      the specs run inline).
+    """
+    names = list(schedulers)
+    if spec_for is not None:
+        specs = [spec_for(name) for name in names]
+        results = run_specs(specs, parallel, label=label)
+        return dict(zip(names, results))
+    if runner is None:
+        raise TypeError("need a runner callable or a spec_for mapping")
+    return {name: runner(name) for name in names}
 
 
 def best_mpl_result(
-    workload_factory: WorkloadFactory,
-    base_config: MachineConfig,
-    rate_tps: float,
+    workload_factory: typing.Optional[WorkloadFactory] = None,
+    base_config: MachineConfig = MachineConfig(),
+    rate_tps: float = 1.2,
     mpl_candidates: typing.Sequence[int] = (2, 4, 6, 8, 12, 16),
     scheduler: str = "C2PL",
+    runner: typing.Optional["ParallelRunner"] = None,
+    workload_spec: typing.Optional[WorkloadSpec] = None,
+    seed: int = 0,
+    duration_ms: float = 2_000_000.0,
+    warmup_ms: float = 0.0,
     **kwargs: typing.Any,
 ) -> SimulationResult:
     """C2PL+M: the best C2PL over a small MPL sweep (lowest mean RT).
 
     The paper defines C2PL+M as "the best C2PL to control
     multi-programming level"; runs that complete no transactions are
-    skipped.
+    skipped.  If *no* candidate commits anything the raw (uncapped) run
+    is returned instead, flagged via ``result.fallback`` and a warning
+    -- a NaN-RT candidate silently posing as C2PL+M would otherwise
+    corrupt downstream tables.
+
+    With ``workload_spec`` the candidate runs execute as one batch
+    (parallel and cached when ``runner`` is given).
     """
-    best: typing.Optional[SimulationResult] = None
-    for mpl in mpl_candidates:
-        result = run_at_rate(
-            scheduler,
-            workload_factory,
-            rate_tps,
-            config=base_config.replace(mpl=mpl),
-            **kwargs,
+
+    def relabel(result: SimulationResult, **changes: typing.Any):
+        # never mutate: callers may hold the same result object
+        return dataclasses.replace(result, scheduler="C2PL+M", **changes)
+
+    if workload_spec is not None:
+        _reject_extra_kwargs(kwargs)
+
+        def spec_with(config: MachineConfig) -> RunSpec:
+            return RunSpec(
+                scheduler=scheduler,
+                workload=workload_spec.at_rate(rate_tps),
+                config=config,
+                seed=seed,
+                duration_ms=duration_ms,
+                warmup_ms=warmup_ms,
+            )
+
+        candidates = run_specs(
+            [spec_with(base_config.replace(mpl=mpl)) for mpl in mpl_candidates],
+            runner,
+            label=f"c2pl+m:{rate_tps:g}tps",
         )
+    else:
+        if workload_factory is None:
+            raise TypeError("need a workload_factory or a workload_spec")
+        candidates = [
+            run_at_rate(
+                scheduler,
+                workload_factory,
+                rate_tps,
+                config=base_config.replace(mpl=mpl),
+                seed=seed,
+                duration_ms=duration_ms,
+                warmup_ms=warmup_ms,
+                **kwargs,
+            )
+            for mpl in mpl_candidates
+        ]
+
+    best: typing.Optional[SimulationResult] = None
+    for result in candidates:
         if math.isnan(result.mean_response_ms):
             continue
         if best is None or result.mean_response_ms < best.mean_response_ms:
             best = result
-    if best is None:
-        # degenerate: nothing committed under any MPL; fall back to raw C2PL
-        best = run_at_rate(
-            scheduler, workload_factory, rate_tps, config=base_config, **kwargs
+    if best is not None:
+        return relabel(best)
+
+    # degenerate: nothing committed under any MPL; fall back to raw C2PL
+    warnings.warn(
+        f"C2PL+M sweep over mpl={tuple(mpl_candidates)} at "
+        f"{rate_tps:g} TPS committed no transactions; falling back to the "
+        "uncapped run (result.fallback=True)",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    if workload_spec is not None:
+        fallback = run_specs(
+            [spec_with(base_config)], runner, label="c2pl+m:fallback"
+        )[0]
+    else:
+        fallback = run_at_rate(
+            scheduler,
+            typing.cast(WorkloadFactory, workload_factory),
+            rate_tps,
+            config=base_config,
+            seed=seed,
+            duration_ms=duration_ms,
+            warmup_ms=warmup_ms,
+            **kwargs,
         )
-    best.scheduler = "C2PL+M"
-    return best
+    return relabel(fallback, fallback=True)

@@ -38,6 +38,9 @@ class SimulationResult:
     label_metrics: typing.Dict[str, typing.Tuple[int, float]] = (
         dataclasses.field(default_factory=dict)
     )
+    #: True when this result stands in for a degenerate search (e.g. the
+    #: C2PL+M MPL sweep committed nothing and fell back to raw C2PL)
+    fallback: bool = False
 
     @property
     def mean_response_s(self) -> float:
@@ -52,6 +55,30 @@ class SimulationResult:
         if math.isnan(self.mean_response_ms) or self.mean_response_ms <= 0:
             return math.nan
         return baseline.mean_response_ms / self.mean_response_ms
+
+    def to_dict(self) -> typing.Dict[str, typing.Any]:
+        """A plain-dict form that survives a JSON round trip."""
+        payload = dataclasses.asdict(self)
+        payload["label_metrics"] = {
+            label: list(pair) for label, pair in self.label_metrics.items()
+        }
+        return payload
+
+    @classmethod
+    def from_dict(
+        cls, payload: typing.Mapping[str, typing.Any]
+    ) -> "SimulationResult":
+        """Inverse of :meth:`to_dict` (tuples restored, fields checked)."""
+        data = dict(payload)
+        data["label_metrics"] = {
+            label: (int(pair[0]), float(pair[1]))
+            for label, pair in data.get("label_metrics", {}).items()
+        }
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(f"unknown SimulationResult fields: {sorted(unknown)}")
+        return cls(**data)
 
 
 class MetricsCollector:

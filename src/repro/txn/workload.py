@@ -136,13 +136,15 @@ def hot_set_chooser(
         raise ValueError("read-only set must not be empty")
     if set(read_only_files) & set(hot_files):
         raise ValueError("read-only and hot sets must be disjoint")
+    read_only_files = tuple(read_only_files)
+    hot_files = tuple(hot_files)
 
     def choose(streams: RandomStreams) -> typing.Mapping[str, int]:
         b = streams.sample_without_replacement(
-            "readonly-choice", list(read_only_files), 1
+            "readonly-choice", read_only_files, 1
         )[0]
         f1, f2 = streams.sample_without_replacement(
-            "hot-choice", list(hot_files), 2
+            "hot-choice", hot_files, 2
         )
         return {"B": b, "F1": f1, "F2": f2}
 

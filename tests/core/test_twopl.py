@@ -1,7 +1,5 @@
 """Tests for the plain strict-2PL baseline (deadlock detect + restart)."""
 
-import pytest
-
 from repro.core import SerializabilityAuditor, TwoPLScheduler
 from repro.machine import MachineConfig
 from repro.sim import run_simulation

@@ -22,6 +22,35 @@ class TestClock:
         env.run(until=10)
         assert env.now == 10
 
+    def test_run_until_is_end_exclusive(self, env):
+        """An event scheduled at exactly ``until`` must not fire (simpy
+        semantics); the clock still advances to ``until``."""
+        fired = []
+
+        def proc(env):
+            yield env.timeout(10)
+            fired.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=10)
+        assert fired == []
+        assert env.now == 10
+        env.run()  # the event is still queued and fires on resume
+        assert fired == [10]
+
+    def test_run_until_fires_events_strictly_before_boundary(self, env):
+        fired = []
+
+        def proc(env, delay):
+            yield env.timeout(delay)
+            fired.append(env.now)
+
+        env.process(proc(env, 9.999))
+        env.process(proc(env, 10))
+        env.process(proc(env, 10.001))
+        env.run(until=10)
+        assert fired == [9.999]
+
     def test_run_until_past_raises(self):
         env = Environment(initial_time=50)
         with pytest.raises(ValueError):

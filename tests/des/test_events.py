@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.des import Environment, Event
+from repro.des import Environment
 from repro.des.events import AllOf, AnyOf, ConditionValue
 
 

@@ -68,6 +68,62 @@ class TestTally:
         t = Tally().keep_samples()
         assert math.isnan(t.percentile(50))
 
+    def test_sample_memory_is_bounded(self):
+        t = Tally("rt").keep_samples(cap=100)
+        for v in range(10_000):
+            t.observe(float(v))
+        assert len(t._samples) == 100
+        assert t.count == 10_000
+
+    def test_capped_percentile_stays_accurate(self):
+        t = Tally("rt").keep_samples(cap=1_000)
+        n = 50_000
+        for v in range(n):
+            t.observe(float(v))
+        # exact p95 of 0..n-1 is ~0.95*n; the reservoir estimate must be
+        # within a few percentage points of rank
+        assert t.percentile(95) == pytest.approx(0.95 * n, rel=0.05)
+        assert t.percentile(50) == pytest.approx(0.50 * n, rel=0.05)
+
+    def test_below_cap_percentiles_are_exact(self):
+        capped = Tally("rt").keep_samples(cap=16_384)
+        exact = Tally("rt").keep_samples(cap=None)
+        for v in range(5_000):
+            capped.observe(float(v))
+            exact.observe(float(v))
+        assert capped.percentile(95) == exact.percentile(95)
+        assert capped._samples == exact._samples
+
+    def test_reservoir_is_deterministic(self):
+        def fill():
+            t = Tally("rt").keep_samples(cap=64)
+            for v in range(1_000):
+                t.observe(float(v))
+            return list(t._samples)
+
+        assert fill() == fill()
+
+    def test_uncapped_mode_keeps_everything(self):
+        t = Tally("rt").keep_samples(cap=None)
+        for v in range(20_000):
+            t.observe(float(v))
+        assert len(t._samples) == 20_000
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            Tally().keep_samples(cap=0)
+
+    def test_reset_reseeds_reservoir(self):
+        fresh = Tally("rt").keep_samples(cap=64)
+        recycled = Tally("rt").keep_samples(cap=64)
+        for v in range(500):
+            recycled.observe(float(v) + 1e9)  # pre-warm-up junk
+        recycled.reset()
+        for v in range(1_000):
+            fresh.observe(float(v))
+            recycled.observe(float(v))
+        assert fresh._samples == recycled._samples
+
     def test_reset_clears_samples(self):
         t = Tally().keep_samples()
         t.observe(5.0)

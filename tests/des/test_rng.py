@@ -66,6 +66,28 @@ class TestDistributions:
         draws = [streams.gauss("err", mean=5.0, stddev=1.0) for _ in range(20000)]
         assert sum(draws) / len(draws) == pytest.approx(5.0, abs=0.05)
 
+    def test_sample_without_replacement_avoids_population_copy(self):
+        # range/list/tuple populations must be sampled as-is (no per-draw
+        # materialisation) and an identical seed must give identical picks
+        # regardless of the population's container type
+        as_range = RandomStreams(17).sample_without_replacement(
+            "pick", range(10_000), k=4
+        )
+        as_list = RandomStreams(17).sample_without_replacement(
+            "pick", list(range(10_000)), k=4
+        )
+        as_tuple = RandomStreams(17).sample_without_replacement(
+            "pick", tuple(range(10_000)), k=4
+        )
+        assert as_range == as_list == as_tuple
+
+    def test_sample_without_replacement_accepts_iterators(self):
+        sample = RandomStreams(17).sample_without_replacement(
+            "pick", iter(range(16)), k=3
+        )
+        assert len(set(sample)) == 3
+        assert all(0 <= v < 16 for v in sample)
+
     def test_sample_without_replacement_distinct(self):
         streams = RandomStreams(17)
         sample = streams.sample_without_replacement("pick", range(16), k=2)

@@ -1,0 +1,95 @@
+"""Unit tests for the on-disk result cache."""
+
+import json
+
+from repro.machine import MachineConfig
+from repro.runner import ResultCache, RunSpec, WorkloadSpec
+from repro.sim.metrics import SimulationResult
+
+
+def make_spec(seed=0):
+    return RunSpec(
+        scheduler="NODC",
+        workload=WorkloadSpec.make("exp1", 0.5, num_files=16),
+        config=MachineConfig(),
+        seed=seed,
+        duration_ms=50_000.0,
+        warmup_ms=0.0,
+    )
+
+
+def make_result(**overrides):
+    base = dict(
+        scheduler="NODC",
+        arrival_rate_tps=0.5,
+        duration_ms=50_000.0,
+        warmup_ms=0.0,
+        completed=12,
+        mean_response_ms=9_000.0,
+        p95_response_ms=20_000.0,
+        max_response_ms=25_000.0,
+        throughput_tps=0.24,
+        cn_utilisation=0.1,
+        dpn_utilisation=0.4,
+        restarts=1,
+        admission_rejections=0,
+        blocks=2,
+        delays=3,
+        in_flight_at_end=1,
+        seed=0,
+        label_metrics={"txn": (12, 9_000.0)},
+    )
+    base.update(overrides)
+    return SimulationResult(**base)
+
+
+class TestResultCache:
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultCache(tmp_path).get(make_spec()) is None
+
+    def test_roundtrip_preserves_result_exactly(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stored = make_result()
+        cache.put(make_spec(), stored)
+        loaded = cache.get(make_spec())
+        assert loaded == stored
+        assert loaded.label_metrics["txn"] == (12, 9_000.0)
+
+    def test_nan_metrics_survive_roundtrip(self, tmp_path):
+        import math
+
+        cache = ResultCache(tmp_path)
+        cache.put(
+            make_spec(), make_result(mean_response_ms=float("nan"), completed=0)
+        )
+        loaded = cache.get(make_spec())
+        assert math.isnan(loaded.mean_response_ms)
+
+    def test_distinct_specs_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(make_spec(seed=0), make_result(seed=0))
+        cache.put(make_spec(seed=1), make_result(seed=1, completed=99))
+        assert cache.get(make_spec(seed=0)).completed == 12
+        assert cache.get(make_spec(seed=1)).completed == 99
+        assert len(cache) == 2
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(make_spec(), make_result())
+        path.write_text("{ truncated")
+        assert cache.get(make_spec()) is None
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(make_spec(), make_result())
+        payload = json.loads(path.read_text())
+        payload["version"] = -1
+        path.write_text(json.dumps(payload))
+        assert cache.get(make_spec()) is None
+
+    def test_entries_fan_out_by_key_prefix(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(make_spec(), make_result())
+        key = make_spec().cache_key()
+        assert path.parent.name == key[:2]
+        assert path.name == f"{key}.json"

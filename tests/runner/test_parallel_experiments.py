@@ -1,0 +1,149 @@
+"""Equivalence of the runner-backed search/experiment paths.
+
+Every rewired entry point must produce the same numbers whether the
+specs run inline, through a cached single-process runner, or across a
+worker pool.
+"""
+
+import math
+
+from repro.experiments import SMOKE, exp1, exp2
+from repro.machine import MachineConfig
+from repro.runner import ParallelRunner, ResultCache, RunSpec, WorkloadSpec
+from repro.sim import (
+    ThroughputRequest,
+    best_mpl_result,
+    find_throughput_at_response_time,
+    find_throughput_batch,
+    sweep,
+)
+from repro.txn import experiment1_workload
+
+QUICK = dict(duration_ms=60_000.0, warmup_ms=10_000.0)
+
+
+def quiet_runner(tmp_path, pool_size=1):
+    return ParallelRunner(
+        pool_size=pool_size,
+        cache=ResultCache(tmp_path / "cache"),
+        progress=None,
+    )
+
+
+class TestFindThroughput:
+    def test_spec_path_matches_factory_path(self, tmp_path):
+        common = dict(target_rt_ms=40_000.0, iterations=4, seed=1, **QUICK)
+        legacy = find_throughput_at_response_time(
+            "NODC",
+            lambda rate: experiment1_workload(rate, num_files=16),
+            **common,
+        )
+        via_runner = find_throughput_at_response_time(
+            "NODC",
+            workload_spec=WorkloadSpec.make("exp1", 1.0, num_files=16),
+            runner=quiet_runner(tmp_path),
+            **common,
+        )
+        assert via_runner.to_dict() == legacy.to_dict()
+
+    def test_lockstep_batch_matches_individual_searches(self, tmp_path):
+        requests = [
+            ThroughputRequest(
+                scheduler=scheduler,
+                workload=WorkloadSpec.make("exp1", 1.0, num_files=16),
+                target_rt_ms=40_000.0,
+                iterations=3,
+                seed=1,
+                **QUICK,
+            )
+            for scheduler in ("NODC", "ASL")
+        ]
+        batched = find_throughput_batch(requests, quiet_runner(tmp_path))
+        individual = [find_throughput_batch([request]) for request in requests]
+        assert [r.to_dict() for r in batched] == [
+            r[0].to_dict() for r in individual
+        ]
+
+
+class TestBestMpl:
+    def test_runner_path_matches_legacy(self, tmp_path):
+        common = dict(
+            rate_tps=0.6, mpl_candidates=(2, 8), seed=1, **QUICK
+        )
+        legacy = best_mpl_result(
+            lambda rate: experiment1_workload(rate, num_files=16),
+            MachineConfig(dd=1),
+            **common,
+        )
+        via_runner = best_mpl_result(
+            base_config=MachineConfig(dd=1),
+            workload_spec=WorkloadSpec.make("exp1", 1.0, num_files=16),
+            runner=quiet_runner(tmp_path),
+            **common,
+        )
+        assert via_runner.to_dict() == legacy.to_dict()
+        assert via_runner.scheduler == "C2PL+M"
+        assert not via_runner.fallback
+
+
+class TestSweep:
+    def test_spec_form_matches_callable_form(self, tmp_path):
+        def spec_for(name):
+            return RunSpec(
+                scheduler=name,
+                workload=WorkloadSpec.make("exp1", 0.5, num_files=16),
+                seed=1,
+                **QUICK,
+            )
+
+        from repro.sim import run_at_rate
+
+        by_callable = sweep(
+            ["NODC", "C2PL"],
+            lambda name: run_at_rate(
+                name,
+                lambda rate: experiment1_workload(rate, num_files=16),
+                0.5,
+                seed=1,
+                **QUICK,
+            ),
+        )
+        by_spec = sweep(
+            ["NODC", "C2PL"],
+            spec_for=spec_for,
+            parallel=quiet_runner(tmp_path),
+        )
+        assert {k: v.to_dict() for k, v in by_spec.items()} == {
+            k: v.to_dict() for k, v in by_callable.items()
+        }
+
+
+class TestExperimentsThroughRunner:
+    def test_figure12_identical_with_and_without_runner(self, tmp_path):
+        plain = exp2.figure12(SMOKE, schedulers=("NODC", "C2PL"), dds=(1, 2))
+        runner = quiet_runner(tmp_path, pool_size=2)
+        pooled = exp2.figure12(
+            SMOKE, schedulers=("NODC", "C2PL"), dds=(1, 2), runner=runner
+        )
+        assert pooled.rows == plain.rows
+
+        # the same figure again is served entirely from the cache
+        rerun_runner = quiet_runner(tmp_path)
+        rerun = exp2.figure12(
+            SMOKE, schedulers=("NODC", "C2PL"), dds=(1, 2), runner=rerun_runner
+        )
+        assert rerun.rows == plain.rows
+        assert rerun_runner.cache_hits == rerun_runner.runs_completed
+        assert rerun_runner.cache_misses == 0
+
+    def test_table2_identical_with_and_without_runner(self, tmp_path):
+        plain = exp1.table2(SMOKE, schedulers=("ASL",), file_counts=(8, 16))
+        pooled = exp1.table2(
+            SMOKE,
+            schedulers=("ASL",),
+            file_counts=(8, 16),
+            runner=quiet_runner(tmp_path, pool_size=2),
+        )
+        assert pooled.rows == plain.rows
+        for row in pooled.rows:
+            assert not math.isnan(row[1])

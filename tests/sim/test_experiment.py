@@ -108,6 +108,52 @@ class TestC2PLM:
         assert result.scheduler == "C2PL+M"
         assert not math.isnan(result.mean_response_ms)
 
+    def test_best_mpl_does_not_mutate_candidate_results(self):
+        """Relabelling to C2PL+M must produce a copy, not rewrite the
+        winning candidate in place."""
+        settings = dict(rate_tps=0.6, mpl_candidates=(8,), seed=1, **QUICK)
+        candidate = run_at_rate(
+            "C2PL",
+            factory(),
+            settings["rate_tps"],
+            config=MachineConfig(dd=1, mpl=8),
+            seed=1,
+            **QUICK,
+        )
+        tuned = best_mpl_result(factory(), MachineConfig(dd=1), **settings)
+        assert candidate.scheduler == "C2PL"
+        assert tuned.scheduler == "C2PL+M"
+        assert tuned.mean_response_ms == candidate.mean_response_ms
+        assert not tuned.fallback
+
+    def test_degenerate_sweep_flags_fallback(self):
+        """A horizon too short for any commit leaves every candidate at
+        NaN RT; the fallback must be flagged, not silently mislabelled."""
+        with pytest.warns(RuntimeWarning, match="committed no transactions"):
+            result = best_mpl_result(
+                factory(),
+                MachineConfig(dd=1),
+                rate_tps=0.6,
+                mpl_candidates=(1,),
+                seed=1,
+                duration_ms=2_000.0,
+                warmup_ms=0.0,
+            )
+        assert result.fallback
+        assert result.scheduler == "C2PL+M"
+        assert math.isnan(result.mean_response_ms)
+
+    def test_healthy_sweep_not_flagged(self):
+        result = best_mpl_result(
+            factory(),
+            MachineConfig(dd=1),
+            rate_tps=0.6,
+            mpl_candidates=(2, 8),
+            seed=1,
+            **QUICK,
+        )
+        assert not result.fallback
+
     def test_mpl_control_helps_under_contention(self):
         """The point of +M: bounding MPL avoids blocking chains.  (At a
         short horizon overload censors response times -- only the few
