@@ -20,6 +20,7 @@ Packages:
 - :mod:`repro.txn` -- batch transactions, patterns, workloads.
 - :mod:`repro.core` -- the WTPG and the six schedulers (the paper's
   contribution).
+- :mod:`repro.obs` -- always-available tracing (recorders, exporters).
 - :mod:`repro.sim` -- simulation runs, metrics, operating-point search.
 - :mod:`repro.runner` -- parallel batch execution with result caching.
 - :mod:`repro.experiments` -- one function per paper table/figure.
@@ -34,6 +35,14 @@ from repro.core import (
     create,
 )
 from repro.machine import DataPlacement, MachineConfig, SharedNothingMachine
+from repro.obs import (
+    MemoryRecorder,
+    NullRecorder,
+    TraceRecorder,
+    render_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.runner import ParallelRunner, ResultCache, RunSpec, WorkloadSpec
 from repro.sim import (
     Simulation,
@@ -59,6 +68,8 @@ __all__ = [
     "BatchTransaction",
     "DataPlacement",
     "MachineConfig",
+    "MemoryRecorder",
+    "NullRecorder",
     "PAPER_SCHEDULERS",
     "PATTERN_1",
     "PATTERN_2",
@@ -70,6 +81,7 @@ __all__ = [
     "SharedNothingMachine",
     "Simulation",
     "SimulationResult",
+    "TraceRecorder",
     "WTPG",
     "Workload",
     "WorkloadSpec",
@@ -80,6 +92,9 @@ __all__ = [
     "experiment2_workload",
     "experiment3_workload",
     "find_throughput_at_response_time",
+    "render_summary",
     "run_at_rate",
     "run_simulation",
+    "write_chrome_trace",
+    "write_jsonl",
 ]

@@ -3,8 +3,11 @@
 Commands:
 
 - ``run``         -- one simulation (scheduler, workload, rate, DD...).
+- ``trace``       -- one simulation with tracing on: JSONL artifact,
+  optional Chrome/Perfetto trace, terminal summary.
 - ``sweep``       -- a scheduler x rate grid through the parallel runner
-  (worker pool + result cache + run manifest).
+  (worker pool + result cache + run manifest; ``--trace`` captures a
+  per-run trace artifact).
 - ``schedulers``  -- list the registered schedulers.
 - ``experiments`` -- list the paper's tables/figures and how to run them.
 """
@@ -18,6 +21,13 @@ import typing
 from repro.analysis import render_table
 from repro.core.registry import available
 from repro.machine.config import MachineConfig
+from repro.obs import (
+    MemoryRecorder,
+    render_summary,
+    validate_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.runner import ParallelRunner, ResultCache, RunSpec, WorkloadSpec
 from repro.sim.simulation import run_simulation
 from repro.txn.workload import (
@@ -51,24 +61,22 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one simulation")
-    run.add_argument("scheduler", help="e.g. LOW, GOW, ASL, C2PL, OPT, NODC")
-    run.add_argument("--workload", choices=("exp1", "exp2", "exp3"),
-                     default="exp1")
-    run.add_argument("--rate", type=float, default=1.0,
-                     help="arrival rate in TPS (default 1.0)")
-    run.add_argument("--dd", type=int, default=1,
-                     help="degree of declustering (default 1)")
-    run.add_argument("--num-files", type=int, default=16)
-    run.add_argument("--num-nodes", type=int, default=8)
-    run.add_argument("--mpl", type=int, default=None,
-                     help="multiprogramming level (default: infinite)")
-    run.add_argument("--sigma", type=float, default=1.0,
-                     help="declaration-error sigma for exp3 (default 1.0)")
-    run.add_argument("--duration", type=float, default=400_000,
-                     help="simulated ms (default 400000)")
-    run.add_argument("--warmup", type=float, default=50_000,
-                     help="warm-up ms discarded (default 50000)")
-    run.add_argument("--seed", type=int, default=0)
+    _add_single_run_args(run)
+
+    trc = sub.add_parser(
+        "trace",
+        help="run one traced simulation and export the trace artifacts",
+    )
+    _add_single_run_args(trc)
+    trc.add_argument("--jsonl", default="trace.jsonl",
+                     help="JSONL trace output ('' disables; default "
+                          "trace.jsonl)")
+    trc.add_argument("--chrome", default="",
+                     help="Chrome/Perfetto trace JSON output ('' disables)")
+    trc.add_argument("--top", type=int, default=5,
+                     help="rows per summary section (default 5)")
+    trc.add_argument("--max-events", type=int, default=None,
+                     help="cap buffered events; extra ones are dropped")
 
     swp = sub.add_parser(
         "sweep",
@@ -98,10 +106,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run-manifest directory ('' disables manifests)")
     swp.add_argument("--metric", choices=("rt", "tps"), default="rt",
                      help="report mean response (s) or throughput (TPS)")
+    swp.add_argument("--trace", action="store_true",
+                     help="capture a JSONL trace artifact per run")
+    swp.add_argument("--traces-dir", default="results/traces",
+                     help="trace artifact directory (default results/traces)")
 
     sub.add_parser("schedulers", help="list registered schedulers")
     sub.add_parser("experiments", help="list the paper's tables/figures")
     return parser
+
+
+def _add_single_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("scheduler",
+                        help="e.g. LOW, GOW, ASL, C2PL, OPT, NODC")
+    parser.add_argument("--workload", choices=("exp1", "exp2", "exp3"),
+                        default="exp1")
+    parser.add_argument("--rate", type=float, default=1.0,
+                        help="arrival rate in TPS (default 1.0)")
+    parser.add_argument("--dd", type=int, default=1,
+                        help="degree of declustering (default 1)")
+    parser.add_argument("--num-files", type=int, default=16)
+    parser.add_argument("--num-nodes", type=int, default=8)
+    parser.add_argument("--mpl", type=int, default=None,
+                        help="multiprogramming level (default: infinite)")
+    parser.add_argument("--sigma", type=float, default=1.0,
+                        help="declaration-error sigma for exp3 (default 1.0)")
+    parser.add_argument("--duration", type=float, default=400_000,
+                        help="simulated ms (default 400000)")
+    parser.add_argument("--warmup", type=float, default=50_000,
+                        help="warm-up ms discarded (default 50000)")
+    parser.add_argument("--seed", type=int, default=0)
 
 
 def _make_workload(args: argparse.Namespace):
@@ -159,6 +193,54 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    _check_horizon(args)
+    if args.max_events is not None and args.max_events < 1:
+        raise SystemExit(f"--max-events must be >= 1, got {args.max_events}")
+    config = MachineConfig(
+        num_nodes=args.num_nodes,
+        num_files=args.num_files,
+        dd=args.dd,
+        mpl=args.mpl,
+    )
+    recorder = MemoryRecorder(max_events=args.max_events)
+    result = run_simulation(
+        args.scheduler,
+        _make_workload(args),
+        config,
+        seed=args.seed,
+        duration_ms=args.duration,
+        warmup_ms=args.warmup,
+        recorder=recorder,
+    )
+    meta = {
+        "scheduler": args.scheduler,
+        "workload": args.workload,
+        "rate_tps": args.rate,
+        "seed": args.seed,
+        "duration_ms": args.duration,
+        "events_dropped": recorder.dropped,
+    }
+    if args.jsonl:
+        path = write_jsonl(recorder.events, args.jsonl, meta=meta)
+        count = validate_jsonl(path)
+        print(f"[trace] {count} event(s) -> {path} (schema valid)")
+    if args.chrome:
+        path = write_chrome_trace(recorder.events, args.chrome, meta=meta)
+        print(f"[trace] chrome trace -> {path} "
+              "(open in ui.perfetto.dev or chrome://tracing)")
+    if recorder.dropped:
+        print(f"[trace] WARNING: {recorder.dropped} event(s) dropped at "
+              f"the --max-events cap ({args.max_events})")
+    print()
+    print(render_summary(recorder.events, top=args.top))
+    print()
+    print(f"[trace] committed={result.completed} "
+          f"throughput={result.throughput_tps:.4g} TPS "
+          f"mean_rt={result.mean_response_s:.4g} s")
+    return 0
+
+
 def _workload_spec(args: argparse.Namespace, rate: float) -> WorkloadSpec:
     if args.workload == "exp1":
         return WorkloadSpec.make("exp1", rate, num_files=args.num_files)
@@ -192,6 +274,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         pool_size=args.pool,
         cache=ResultCache(args.cache_dir) if args.cache_dir else None,
         runs_dir=args.runs_dir or None,
+        traces_dir=args.traces_dir or None,
     )
     specs = [
         RunSpec(
@@ -201,6 +284,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
             seed=args.seed,
             duration_ms=args.duration,
             warmup_ms=args.warmup,
+            trace=args.trace,
         )
         for rate in rates
         for scheduler in schedulers
@@ -232,11 +316,21 @@ def _command_sweep(args: argparse.Namespace) -> int:
     line = (
         f"[runner] pool={runner.pool_size} "
         f"cache hits={counts.get('cache_hits', 0)} "
-        f"misses={counts.get('cache_misses', 0)}"
+        f"misses={counts.get('cache_misses', 0)} "
+        f"simulated={counts.get('simulated', 0)} "
+        f"coalesced={counts.get('coalesced', 0)}"
     )
     if runner.last_manifest_path is not None:
         line += f" manifest={runner.last_manifest_path}"
     print(line)
+    if args.trace:
+        traced = [
+            run["trace_artifact"]
+            for run in (runner.last_batch or {}).get("runs", [])
+            if run.get("trace_artifact")
+        ]
+        print(f"[runner] trace artifacts: {len(traced)} file(s) under "
+              f"{args.traces_dir or '(disabled)'}")
     return 0
 
 
@@ -261,6 +355,8 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
     try:
         if args.command == "run":
             return _command_run(args)
+        if args.command == "trace":
+            return _command_trace(args)
         if args.command == "sweep":
             return _command_sweep(args)
         if args.command == "schedulers":

@@ -11,6 +11,18 @@ a write's timestamp is its scan time.  For optimistic execution writes
 live in a private workspace and only become visible at commit; construct
 the auditor with ``deferred_writes=True`` so write timestamps are the
 writer's commit time.
+
+Memory over long runs.  The raw history grows with every access, so a
+production-horizon run would accumulate it unboundedly (the same hazard
+``Tally.keep_samples`` caps for response-time samples).  Passing
+``compact_interval=N`` folds the *committed prefix* away every N
+recorded accesses: transactions that committed before any live
+transaction's first access can never gain an incoming edge from live or
+future transactions (every later access is later in time), so any cycle
+they participate in already exists at compaction time.  The compactor
+checks the graph once, freezes a found cycle permanently, and drops the
+closed transactions' accesses.  Verdicts are identical to the
+uncompacted auditor's; only memory changes.
 """
 
 from __future__ import annotations
@@ -30,10 +42,26 @@ class _Access(typing.NamedTuple):
 class SerializabilityAuditor:
     """Collects a history and checks conflict-serializability."""
 
-    def __init__(self, deferred_writes: bool = False) -> None:
+    def __init__(
+        self,
+        deferred_writes: bool = False,
+        compact_interval: typing.Optional[int] = None,
+    ) -> None:
+        if compact_interval is not None and compact_interval < 1:
+            raise ValueError(
+                f"compact_interval must be >= 1 or None, got {compact_interval}"
+            )
         self.deferred_writes = deferred_writes
+        self.compact_interval = compact_interval
         self._accesses: typing.List[_Access] = []
         self._commit_times: typing.Dict[int, float] = {}
+        self._aborted: typing.Set[int] = set()
+        self._accesses_since_compact = 0
+        #: committed transactions folded away by compaction
+        self._compacted_commits = 0
+        #: a cycle found among transactions that were later compacted
+        #: away -- the verdict is permanently non-serializable
+        self._frozen_cycle: typing.Optional[typing.List[int]] = None
 
     # -- recording ------------------------------------------------------------
 
@@ -42,6 +70,10 @@ class SerializabilityAuditor:
     ) -> None:
         """One granted scan of a file."""
         self._accesses.append(_Access(txn_id, file_id, mode, time))
+        if self.compact_interval is not None:
+            self._accesses_since_compact += 1
+            if self._accesses_since_compact >= self.compact_interval:
+                self.compact()
 
     def record_commit(self, txn_id: int, time: float) -> None:
         """Transaction committed (aborted ones are simply never recorded)."""
@@ -49,9 +81,79 @@ class SerializabilityAuditor:
             raise ValueError(f"T{txn_id} committed twice")
         self._commit_times[txn_id] = time
 
+    def record_abort(self, txn_id: int) -> None:
+        """Transaction aborted: its accesses never join the graph.
+
+        Without this hint an aborted attempt would look like a live
+        transaction forever and pin the compaction watermark.
+        """
+        self._aborted.add(txn_id)
+
     @property
     def committed_count(self) -> int:
-        return len(self._commit_times)
+        return len(self._commit_times) + self._compacted_commits
+
+    # -- compaction -----------------------------------------------------------
+
+    @property
+    def retained_accesses(self) -> int:
+        """Accesses currently buffered (memory diagnostic / tests)."""
+        return len(self._accesses)
+
+    def compact(self) -> int:
+        """Fold the committed prefix out of the buffered history.
+
+        Returns the number of transactions compacted away.  Safe at any
+        time: a committed transaction is *closed* once every one of its
+        access times (and, with deferred writes, its commit time) lies
+        before the watermark -- the earliest first-access of any live
+        (uncommitted, unaborted) transaction.  No live or future access
+        can then precede a closed access, so edges *into* the closed set
+        can never appear again; cycles through it either already exist
+        (found and frozen here) or never will.
+        """
+        self._accesses_since_compact = 0
+        # aborted attempts never enter the graph: drop their accesses
+        if self._aborted:
+            self._accesses = [
+                a for a in self._accesses if a.txn_id not in self._aborted
+            ]
+            # an aborted attempt never records again (restarts get fresh
+            # ids), so the set itself can be dropped once acted on
+            self._aborted.clear()
+        first_access: typing.Dict[int, float] = {}
+        last_access: typing.Dict[int, float] = {}
+        for access in self._accesses:
+            if access.txn_id not in first_access:
+                first_access[access.txn_id] = access.time
+            last_access[access.txn_id] = max(
+                last_access.get(access.txn_id, access.time), access.time
+            )
+        live = [
+            t for t in first_access
+            if t not in self._commit_times and t not in self._aborted
+        ]
+        watermark = min(
+            (first_access[t] for t in live), default=float("inf")
+        )
+        closed = {
+            t
+            for t, commit_time in self._commit_times.items()
+            if commit_time < watermark
+            and last_access.get(t, commit_time) < watermark
+        }
+        if not closed:
+            return 0
+        # any cycle touching the closed prefix is fully visible now
+        if self._frozen_cycle is None:
+            self._frozen_cycle = self._find_cycle_now()
+        self._accesses = [
+            a for a in self._accesses if a.txn_id not in closed
+        ]
+        for txn_id in closed:
+            del self._commit_times[txn_id]
+        self._compacted_commits += len(closed)
+        return len(closed)
 
     # -- graph construction --------------------------------------------------------
 
@@ -111,7 +213,18 @@ class SerializabilityAuditor:
         return self.find_cycle() is None
 
     def find_cycle(self) -> typing.Optional[typing.List[int]]:
-        """A cycle of transaction ids, or None when serializable."""
+        """A cycle of transaction ids, or None when serializable.
+
+        A cycle frozen by an earlier compaction is final: those
+        transactions' accesses are gone, but the history already proved
+        itself non-serializable.
+        """
+        if self._frozen_cycle is not None:
+            return self._frozen_cycle
+        return self._find_cycle_now()
+
+    def _find_cycle_now(self) -> typing.Optional[typing.List[int]]:
+        """Cycle search over the currently buffered history."""
         graph = self.serialization_graph()
         WHITE, GREY, BLACK = 0, 1, 2
         colour = {node: WHITE for node in graph}

@@ -84,6 +84,9 @@ class Scheduler(abc.ABC):
         self.control_node = control_node
         self.lock_table = LockTable(config.num_files)
         self.stats = SchedulerStats()
+        #: trace sink (cached: the disabled path must stay one attribute
+        #: check per instrumented site)
+        self._trace = env.trace
         #: waiters woken by any commit (delayed requests, admissions),
         #: as (priority, event) with priority = transaction arrival time
         self._commit_waiters: typing.List[typing.Tuple[float, Event]] = []
@@ -106,8 +109,14 @@ class Scheduler(abc.ABC):
                 txn.state = TransactionState.ACTIVE
                 txn.start_time = self.env.now
                 self.stats.admissions.increment()
+                if self._trace.enabled:
+                    self._trace.emit(self.env.now, "txn.admit", txn=txn.txn_id)
                 return
             self.stats.admission_rejections.increment()
+            if self._trace.enabled:
+                self._trace.emit(
+                    self.env.now, "txn.admit_reject", txn=txn.txn_id
+                )
             # Admissibility (free locks, chain shape, conflict counts) can
             # only improve when a transaction leaves: wake on commit.
             yield from self._wait_for_commit(
@@ -123,13 +132,45 @@ class Scheduler(abc.ABC):
         if self._already_holds(txn, file_id):
             return
         mode = txn.mode_for(file_id)
+        wait_started: typing.Optional[float] = None
         while True:
             if self._doomed_check(txn):
                 raise TransactionAborted(txn.txn_id)
             decision = yield from self._try_acquire(txn, file_id, mode)
             if decision is Decision.GRANT:
                 self.stats.grants.increment()
+                if self._trace.enabled and wait_started is not None:
+                    self._trace.emit(
+                        self.env.now,
+                        "txn.lock_acquired",
+                        txn=txn.txn_id,
+                        file=file_id,
+                        wait_ms=self.env.now - wait_started,
+                    )
                 return
+            if self._trace.enabled:
+                if wait_started is None:
+                    self._trace.emit(
+                        self.env.now,
+                        "txn.lock_wait",
+                        txn=txn.txn_id,
+                        file=file_id,
+                        mode=mode.name,
+                    )
+                if decision is Decision.BLOCK:
+                    self._trace.emit(
+                        self.env.now,
+                        "txn.block",
+                        txn=txn.txn_id,
+                        file=file_id,
+                        holders=sorted(self.lock_table.holders(file_id)),
+                    )
+                else:
+                    self._trace.emit(
+                        self.env.now, "txn.delay", txn=txn.txn_id, file=file_id
+                    )
+            if wait_started is None:
+                wait_started = self.env.now
             if decision is Decision.BLOCK:
                 self.stats.blocks.increment()
                 yield from self._wait_for_file(
@@ -146,6 +187,17 @@ class Scheduler(abc.ABC):
         txn.state = TransactionState.COMMITTED
         txn.commit_time = self.env.now
         self.stats.commits.increment()
+        if self._trace.enabled:
+            for file_id in released:
+                self._trace.emit(
+                    self.env.now, "lock.release", txn=txn.txn_id, file=file_id
+                )
+            self._trace.emit(
+                self.env.now,
+                "txn.commit",
+                txn=txn.txn_id,
+                response_ms=txn.commit_time - txn.arrival_time,
+            )
         self._leave(released)
 
     def abort(self, txn: BatchTransaction) -> typing.Generator:
@@ -154,6 +206,17 @@ class Scheduler(abc.ABC):
         released = self.lock_table.release_all(txn.txn_id)
         txn.state = TransactionState.ABORTED
         self.stats.aborts.increment()
+        if self._trace.enabled:
+            for file_id in released:
+                self._trace.emit(
+                    self.env.now, "lock.release", txn=txn.txn_id, file=file_id
+                )
+            self._trace.emit(
+                self.env.now,
+                "txn.abort",
+                txn=txn.txn_id,
+                reason="validation" if self.name == "OPT" else "deadlock",
+            )
         self._leave(released)
 
     def validate_at_commit(self, txn: BatchTransaction) -> bool:
@@ -293,6 +356,14 @@ class Scheduler(abc.ABC):
         self, txn: BatchTransaction, file_id: int, mode: AccessMode
     ) -> None:
         self.lock_table.grant(txn.txn_id, file_id, mode)
+        if self._trace.enabled:
+            self._trace.emit(
+                self.env.now,
+                "lock.grant",
+                txn=txn.txn_id,
+                file=file_id,
+                mode=mode.name,
+            )
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} active={self._active_count}>"
@@ -312,9 +383,18 @@ class WTPGSchedulerMixin:
 
     wtpg: typing.Any  # set by the concrete scheduler
     lock_table: LockTable
+    env: typing.Any
+    _trace: typing.Any
     #: C2PL sets this False: it never reads weights, so forced conflict
     #: edges can resolve lazily through the cycle test.
     wtpg_propagate = True
+
+    def _emit_wtpg_fixes(
+        self, fixes: typing.Iterable[typing.Tuple[int, int]]
+    ) -> None:
+        """Trace each precedence-edge insertion (chain orientation)."""
+        for src, dst in fixes:
+            self._trace.emit(self.env.now, "sched.wtpg_fix", src=src, dst=dst)
 
     def _register_in_wtpg(self, txn: BatchTransaction) -> None:
         self.wtpg.add_transaction(txn)
@@ -326,8 +406,12 @@ class WTPGSchedulerMixin:
             for holder in self.lock_table.holders(file_id):
                 if holder != txn.txn_id and holder in self.wtpg:
                     self.wtpg.apply_fix(holder, txn.txn_id)
+                    if self._trace.enabled:
+                        self._emit_wtpg_fixes([(holder, txn.txn_id)])
         if self.wtpg_propagate:
-            self.wtpg.propagate_transitive_fixes()
+            applied = self.wtpg.propagate_transitive_fixes()
+            if self._trace.enabled:
+                self._emit_wtpg_fixes(applied)
 
     def _deregister_from_wtpg(self, txn: BatchTransaction) -> None:
         if txn.txn_id in self.wtpg:

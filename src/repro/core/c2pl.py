@@ -48,10 +48,18 @@ class C2PLScheduler(WTPGSchedulerMixin, Scheduler):
         if not self.lock_table.is_compatible(file_id, mode):
             return Decision.BLOCK
         fixes = self.wtpg.fixes_for_grant(txn.txn_id, file_id)
-        if self.wtpg.creates_cycle(fixes):
+        deadlock = self.wtpg.creates_cycle(fixes)
+        if self._trace.enabled:
+            self._trace.emit(
+                self.env.now, "sched.cycle_test", txn=txn.txn_id,
+                file=file_id, deadlock=deadlock,
+            )
+        if deadlock:
             return Decision.DELAY  # cautious: wait, never abort
         self._grant_lock(txn, file_id, mode)
-        self.wtpg.grant(txn.txn_id, file_id, propagate=False)
+        applied = self.wtpg.grant(txn.txn_id, file_id, propagate=False)
+        if self._trace.enabled:
+            self._emit_wtpg_fixes(applied)
         return Decision.GRANT
 
     def _on_commit(self, txn: BatchTransaction) -> typing.Generator:

@@ -38,7 +38,12 @@ class GOWScheduler(WTPGSchedulerMixin, Scheduler):
 
     def _try_admit(self, txn: BatchTransaction) -> typing.Generator:
         yield from self.control_node.consume(self.config.toptime_ms, "cc-gow")
-        if not keeps_chain_form(self.wtpg, txn):
+        ok = keeps_chain_form(self.wtpg, txn)
+        if self._trace.enabled:
+            self._trace.emit(
+                self.env.now, "sched.chain_test", txn=txn.txn_id, ok=ok
+            )
+        if not ok:
             return False  # start aborted; re-submitted after some delay
         self._register_in_wtpg(txn)
         return True
@@ -60,11 +65,23 @@ class GOWScheduler(WTPGSchedulerMixin, Scheduler):
         order = compute_optimal_order(self.wtpg)
         # Phase 3: delay q if its precedence consequences contradict W.
         fixes = self.wtpg.fixes_for_grant(txn.txn_id, file_id)
-        if any(not order.consistent_with_fix(i, j) for i, j in fixes):
+        consistent = all(order.consistent_with_fix(i, j) for i, j in fixes)
+        if self._trace.enabled:
+            # the chain orientation GOW committed to for this decision
+            self._trace.emit(
+                self.env.now,
+                "sched.chain_order",
+                txn=txn.txn_id,
+                file=file_id,
+                consistent=consistent,
+            )
+        if not consistent:
             return Decision.DELAY
         # Granted; Phase 4 replaces newly determined conflict edges.
         self._grant_lock(txn, file_id, mode)
-        self.wtpg.grant(txn.txn_id, file_id)
+        applied = self.wtpg.grant(txn.txn_id, file_id)
+        if self._trace.enabled:
+            self._emit_wtpg_fixes(applied)
         return Decision.GRANT
 
     def _on_commit(self, txn: BatchTransaction) -> typing.Generator:

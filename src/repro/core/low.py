@@ -83,7 +83,12 @@ class LOWScheduler(WTPGSchedulerMixin, Scheduler):
         )
 
     def _try_admit(self, txn: BatchTransaction) -> typing.Generator:
-        if not self._conflict_counts_ok(txn):
+        ok = self._conflict_counts_ok(txn)
+        if self._trace.enabled:
+            self._trace.emit(
+                self.env.now, "sched.kconflict", txn=txn.txn_id, ok=ok
+            )
+        if not ok:
             return False
         self._register_in_wtpg(txn)
         return True
@@ -129,15 +134,32 @@ class LOWScheduler(WTPGSchedulerMixin, Scheduler):
         # Phase 2: E(q); deadlock delays q.
         e_q = self.wtpg.hypothetical_grant_critical_path(txn.txn_id, file_id)
         if math.isinf(e_q):
+            if self._trace.enabled:
+                self._trace.emit(
+                    self.env.now, "sched.e_eval", txn=txn.txn_id,
+                    file=file_id, e_q=e_q, granted=False,
+                )
             return Decision.DELAY
         # Phase 3: grant only if E(q) <= E(p) for every p in C(q).
         for other_id in self._conflicting_declarations(txn, file_id, mode):
             e_p = self.wtpg.hypothetical_grant_critical_path(other_id, file_id)
             if e_q > e_p:
+                if self._trace.enabled:
+                    self._trace.emit(
+                        self.env.now, "sched.e_eval", txn=txn.txn_id,
+                        file=file_id, e_q=e_q, granted=False,
+                    )
                 return Decision.DELAY
+        if self._trace.enabled:
+            self._trace.emit(
+                self.env.now, "sched.e_eval", txn=txn.txn_id,
+                file=file_id, e_q=e_q, granted=True,
+            )
         # Granted; Phase 4 fixes newly determined precedence edges.
         self._grant_lock(txn, file_id, mode)
-        self.wtpg.grant(txn.txn_id, file_id)
+        applied = self.wtpg.grant(txn.txn_id, file_id)
+        if self._trace.enabled:
+            self._emit_wtpg_fixes(applied)
         return Decision.GRANT
 
     def _on_commit(self, txn: BatchTransaction) -> typing.Generator:

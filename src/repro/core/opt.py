@@ -64,10 +64,15 @@ class OPTScheduler(Scheduler):
         if start is None:
             raise RuntimeError(f"T{txn.txn_id} was never admitted")
         touched = txn.read_set | txn.write_set
-        return not any(
+        ok = not any(
             record.commit_time > start and record.write_set & touched
             for record in self._commit_log
         )
+        if self._trace.enabled:
+            self._trace.emit(
+                self.env.now, "sched.opt_validation", txn=txn.txn_id, ok=ok
+            )
+        return ok
 
     def _on_commit(self, txn: BatchTransaction) -> typing.Generator:
         if self.opt_validate_cost_ms:

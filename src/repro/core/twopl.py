@@ -61,6 +61,10 @@ class TwoPLScheduler(Scheduler):
             victim = self._find_deadlock_victim(txn.txn_id)
             if victim is not None:
                 self._doomed.add(victim)
+                if self._trace.enabled:
+                    self._trace.emit(
+                        self.env.now, "sched.victim", txn=victim
+                    )
                 self._notify_all()  # the victim may be parked anywhere
                 if victim == txn.txn_id:
                     self._waits_for.pop(txn.txn_id, None)

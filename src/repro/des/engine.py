@@ -12,6 +12,7 @@ import typing
 
 from repro.des.events import AllOf, AnyOf, Event, Timeout
 from repro.des.process import Process, ProcessGenerator
+from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 
 
 class StopSimulation(Exception):
@@ -35,6 +36,10 @@ class Environment:
         self._active_process: typing.Optional[Process] = None
         #: when True, exceptions escaping a process propagate out of run()
         self.strict = strict
+        #: the trace sink every model component checks before emitting;
+        #: stays the shared no-op recorder unless a run installs a real
+        #: one *before* building components (they cache the reference)
+        self.trace: TraceRecorder = NULL_RECORDER
 
     # -- clock -------------------------------------------------------------
 

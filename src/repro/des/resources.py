@@ -41,15 +41,32 @@ class Request(Event):
 
 
 class Resource:
-    """A pool of ``capacity`` identical servers granted in FIFO order."""
+    """A pool of ``capacity`` identical servers granted in FIFO order.
 
-    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+    A *named* resource reports its waiting-line depth to the
+    environment's trace recorder (``res.queue`` events) whenever the
+    queue length changes; anonymous resources never trace.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: int = 1,
+        name: typing.Optional[str] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.env = env
         self.capacity = capacity
+        self.name = name
+        self._trace = env.trace
         self._waiting: typing.Deque[Request] = collections.deque()
         self._granted: typing.Set[Request] = set()
+
+    def _trace_queue(self) -> None:
+        self._trace.emit(
+            self.env.now, "res.queue", name=self.name, depth=len(self._waiting)
+        )
 
     @property
     def in_use(self) -> int:
@@ -69,6 +86,8 @@ class Resource:
             req.succeed()
         else:
             self._waiting.append(req)
+            if self._trace.enabled and self.name is not None:
+                self._trace_queue()
         return req
 
     def release(self, request: Request) -> None:
@@ -87,12 +106,16 @@ class Resource:
             pass
 
     def _grant_next(self) -> None:
+        drained = False
         while self._waiting and len(self._granted) < self.capacity:
             nxt = self._waiting.popleft()
+            drained = True
             if nxt.triggered:  # withdrawn/poisoned requests are skipped
                 continue
             self._granted.add(nxt)
             nxt.succeed()
+        if drained and self._trace.enabled and self.name is not None:
+            self._trace_queue()
 
 
 class Store:

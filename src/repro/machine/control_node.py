@@ -23,7 +23,8 @@ class ControlNode:
     def __init__(self, env: Environment, config: MachineConfig) -> None:
         self.env = env
         self.config = config
-        self.cpu = Resource(env, capacity=1)
+        self._trace = env.trace
+        self.cpu = Resource(env, capacity=1, name="cn.cpu")
         self.busy = TimeWeighted(env.now, 0.0, name="cn.busy")
         self.cpu_ms_by_category: typing.Dict[str, float] = {}
         self.messages = Counter("cn.messages")
@@ -45,10 +46,19 @@ class ControlNode:
         with self.cpu.request() as req:
             yield req
             self.busy.update(self.env.now, 1.0)
+            if self._trace.enabled:
+                self._trace.emit(
+                    self.env.now, "cn.exec_start",
+                    category=category, cost_ms=scaled,
+                )
             yield self.env.timeout(scaled)
             self.cpu_ms_by_category[category] = (
                 self.cpu_ms_by_category.get(category, 0.0) + scaled
             )
+            if self._trace.enabled:
+                self._trace.emit(
+                    self.env.now, "cn.exec_end", category=category
+                )
             if self.cpu.queue_length == 0:
                 self.busy.update(self.env.now, 0.0)
 

@@ -87,6 +87,7 @@ class DataProcessingNode:
         self.env = env
         self.node_id = node_id
         self.obj_time_ms = obj_time_ms
+        self._trace = env.trace
         self._ring: typing.Deque[Cohort] = collections.deque()
         self._arrival: Event = env.event()
         self.busy = TimeWeighted(env.now, 0.0, name=f"dpn{node_id}.busy")
@@ -109,6 +110,11 @@ class DataProcessingNode:
             return cohort.done
         self._ring.append(cohort)
         self.queue.update(self.env.now, len(self._ring))
+        if self._trace.enabled:
+            self._trace.emit(
+                self.env.now, "node.queue",
+                node=self.node_id, depth=len(self._ring),
+            )
         if not self._arrival.triggered:
             self._arrival.succeed()
         return cohort.done
@@ -136,13 +142,26 @@ class DataProcessingNode:
     # -- service loop ----------------------------------------------------------
 
     def _serve(self) -> typing.Generator:
+        scanning = False  # trace busy/idle only on actual transitions
         while True:
             if not self._ring:
                 self._arrival = self.env.event()
                 self.busy.update(self.env.now, 0.0)
+                if scanning:
+                    scanning = False
+                    if self._trace.enabled:
+                        self._trace.emit(
+                            self.env.now, "node.idle", node=self.node_id
+                        )
                 yield self._arrival
                 continue
             self.busy.update(self.env.now, 1.0)
+            if not scanning:
+                scanning = True
+                if self._trace.enabled:
+                    self._trace.emit(
+                        self.env.now, "node.busy", node=self.node_id
+                    )
             cohort = self._ring.popleft()
             quantum = min(cohort.quantum_objects, cohort.remaining)
             yield self.env.timeout(quantum * self.obj_time_ms)
@@ -154,3 +173,8 @@ class DataProcessingNode:
             else:
                 self._ring.append(cohort)
             self.queue.update(self.env.now, len(self._ring))
+            if self._trace.enabled:
+                self._trace.emit(
+                    self.env.now, "node.queue",
+                    node=self.node_id, depth=len(self._ring),
+                )

@@ -1,0 +1,58 @@
+"""Always-available tracing & metrics for simulation runs.
+
+The simulator's end-of-run aggregates (``sim/metrics.py``) say *what*
+each scheduler achieved; this package records *why*: every transaction
+lifecycle transition, every lock grant/release, every scheduler decision
+(WTPG edge fixes, chain-form verdicts, K-conflict admissions, OPT
+validation failures) and every machine-resource busy/idle/queue change,
+timestamped on the simulation clock.
+
+Design rules:
+
+- **Observation only.**  Recorders never draw random numbers, never
+  create events and never touch the event queue, so a traced run is
+  byte-identical to an untraced one.
+- **Zero overhead when off.**  Every instrumented site guards its
+  ``emit`` behind a single ``recorder.enabled`` attribute check; the
+  default :data:`NULL_RECORDER` keeps that check False everywhere.
+
+Public surface:
+
+- :class:`TraceEvent` / :mod:`repro.obs.events` -- the typed event kinds.
+- :class:`TraceRecorder` / :class:`NullRecorder` /
+  :class:`MemoryRecorder` -- the recording protocol and implementations.
+- :mod:`repro.obs.export` -- JSONL, Chrome-trace (Perfetto) and text
+  summary exporters.
+- :mod:`repro.obs.schema` -- the event schema and JSONL validator.
+"""
+
+from repro.obs.events import EVENT_KINDS, TraceEvent
+from repro.obs.export import (
+    render_summary,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    MemoryRecorder,
+    NullRecorder,
+    TraceRecorder,
+)
+from repro.obs.schema import TRACE_SCHEMA_VERSION, validate_event, validate_jsonl
+
+__all__ = [
+    "EVENT_KINDS",
+    "MemoryRecorder",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "TRACE_SCHEMA_VERSION",
+    "TraceEvent",
+    "TraceRecorder",
+    "render_summary",
+    "to_chrome_trace",
+    "validate_event",
+    "validate_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,92 @@
+"""Trace recorders: the protocol, the zero-overhead default and the
+in-memory buffer.
+
+The contract every instrumented site follows::
+
+    if self._trace.enabled:
+        self._trace.emit(self.env.now, "txn.block", txn=..., file=...)
+
+``enabled`` is a plain class attribute, so the disabled path costs one
+attribute load and a boolean test -- no call, no allocation.  Recorders
+must never interact with the simulation (no RNG draws, no event-queue
+access): a run traced with :class:`MemoryRecorder` is byte-identical to
+the same run with :data:`NULL_RECORDER`.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.obs.events import TraceEvent
+
+
+class TraceRecorder:
+    """Recording protocol: ``enabled`` flag plus an ``emit`` sink.
+
+    Subclass and override :meth:`emit`; set ``enabled = True`` on
+    classes that actually record.  (A runtime-checkable Protocol would
+    also work, but a tiny base class keeps isinstance cheap and gives
+    the no-op default for free.)
+    """
+
+    #: instrumented sites skip ``emit`` entirely when this is False
+    enabled: bool = False
+
+    def emit(self, time: float, kind: str, **fields: typing.Any) -> None:
+        """Record one event (no-op in the base/disabled recorder)."""
+
+
+class NullRecorder(TraceRecorder):
+    """The always-off recorder; every Environment starts with one."""
+
+    __slots__ = ()
+
+
+#: shared default instance -- stateless, so one is enough for everyone
+NULL_RECORDER = NullRecorder()
+
+
+class MemoryRecorder(TraceRecorder):
+    """Buffers events in order; the exporters consume ``events``.
+
+    ``max_events`` bounds memory on long runs: once the cap is reached
+    the recorder *drops* further events (counting them in ``dropped``)
+    rather than evicting old ones, so the retained prefix stays a
+    faithful, gap-free history.
+    """
+
+    enabled = True
+
+    def __init__(self, max_events: typing.Optional[int] = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1 or None, got {max_events}")
+        self.max_events = max_events
+        self.events: typing.List[TraceEvent] = []
+        self.dropped = 0
+
+    def emit(self, time: float, kind: str, **fields: typing.Any) -> None:
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time, kind, fields))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def clear(self) -> None:
+        """Drop everything recorded so far (e.g. at a warm-up cutoff)."""
+        self.events.clear()
+        self.dropped = 0
+
+    def kinds(self) -> typing.Dict[str, int]:
+        """Event count per kind (diagnostic helper)."""
+        counts: typing.Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"<MemoryRecorder events={len(self.events)} "
+            f"dropped={self.dropped}>"
+        )

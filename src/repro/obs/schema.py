@@ -1,0 +1,97 @@
+"""Trace schema: versioning and validation of exported event streams.
+
+A JSONL trace is valid when:
+
+- its first line is a ``trace.meta`` record whose ``schema`` equals
+  :data:`TRACE_SCHEMA_VERSION`;
+- every line is a JSON object with a numeric, non-decreasing ``t`` and a
+  ``kind`` registered in :data:`~repro.obs.events.EVENT_KINDS`;
+- every record carries at least the required fields of its kind.
+
+The validator is what CI's trace smoke job runs; keep it dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing
+
+from repro.obs.events import EVENT_KINDS
+
+#: bump when event kinds/fields change incompatibly; written into every
+#: trace.meta record and checked by :func:`validate_jsonl`
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceSchemaError(ValueError):
+    """A record (or stream) violates the trace schema."""
+
+
+def validate_event(record: typing.Mapping[str, typing.Any]) -> None:
+    """Raise :class:`TraceSchemaError` unless ``record`` is well-formed."""
+    kind = record.get("kind")
+    if not isinstance(kind, str):
+        raise TraceSchemaError(f"record has no string 'kind': {record!r}")
+    if kind not in EVENT_KINDS:
+        raise TraceSchemaError(f"unknown event kind {kind!r}")
+    time = record.get("t")
+    if not isinstance(time, (int, float)) or isinstance(time, bool):
+        raise TraceSchemaError(f"{kind}: 't' must be a number, got {time!r}")
+    if time < 0:
+        raise TraceSchemaError(f"{kind}: negative timestamp {time}")
+    missing = [f for f in EVENT_KINDS[kind] if f not in record]
+    if missing:
+        raise TraceSchemaError(f"{kind}: missing required fields {missing}")
+
+
+def validate_jsonl(path: typing.Union[str, pathlib.Path]) -> int:
+    """Validate a JSONL trace file; returns the number of event records.
+
+    Checks the meta header, every record's shape, and that timestamps
+    never go backwards (the recorder appends in simulation order, so a
+    decreasing ``t`` means a corrupted or hand-edited file).
+    """
+    path = pathlib.Path(path)
+    count = 0
+    last_time = 0.0
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceSchemaError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(record, dict):
+                raise TraceSchemaError(
+                    f"{path}:{lineno}: expected an object, got {type(record).__name__}"
+                )
+            try:
+                validate_event(record)
+            except TraceSchemaError as exc:
+                raise TraceSchemaError(f"{path}:{lineno}: {exc}") from exc
+            if count == 0:
+                if record["kind"] != "trace.meta":
+                    raise TraceSchemaError(
+                        f"{path}: first record must be trace.meta, "
+                        f"got {record['kind']!r}"
+                    )
+                if record["schema"] != TRACE_SCHEMA_VERSION:
+                    raise TraceSchemaError(
+                        f"{path}: schema version {record['schema']!r} != "
+                        f"supported {TRACE_SCHEMA_VERSION}"
+                    )
+            elif record["t"] < last_time:
+                raise TraceSchemaError(
+                    f"{path}:{lineno}: timestamp went backwards "
+                    f"({record['t']} < {last_time})"
+                )
+            last_time = record["t"]
+            count += 1
+    if count == 0:
+        raise TraceSchemaError(f"{path}: empty trace (no meta record)")
+    return count

@@ -31,7 +31,11 @@ import typing
 
 from repro.runner.cache import ResultCache
 from repro.runner.spec import RunSpec
-from repro.runner.worker import execute_indexed, execute_spec
+from repro.runner.worker import (
+    execute_indexed,
+    execute_spec,
+    trace_artifact_path,
+)
 from repro.sim.metrics import SimulationResult
 
 
@@ -109,12 +113,16 @@ class ParallelRunner:
         progress: typing.Optional[
             typing.Callable[[RunEvent], None]
         ] = print_progress,
+        traces_dir: typing.Optional[typing.Union[str, pathlib.Path]] = None,
     ) -> None:
         if pool_size is not None and pool_size < 1:
             raise ValueError(f"pool_size must be >= 1, got {pool_size}")
         self.pool_size = pool_size or os.cpu_count() or 1
         self.cache = cache
         self.runs_dir = pathlib.Path(runs_dir) if runs_dir is not None else None
+        self.traces_dir = (
+            pathlib.Path(traces_dir) if traces_dir is not None else None
+        )
         self.progress = progress
         #: cumulative counters across all batches of this runner
         self.cache_hits = 0
@@ -196,20 +204,28 @@ class ParallelRunner:
         """Yield ``(index, result, elapsed_s)`` for every pending index."""
         if not pending:
             return
+        traces_dir: typing.Optional[str] = None
+        if self.traces_dir is not None and any(
+            specs[index].trace for index in pending
+        ):
+            self.traces_dir.mkdir(parents=True, exist_ok=True)
+            traces_dir = str(self.traces_dir)
         workers = min(self.pool_size, len(pending))
         if workers == 1:
             for index in pending:
                 run_started = time.time()
-                yield index, execute_spec(specs[index]), (
-                    time.time() - run_started
-                )
+                yield index, execute_spec(
+                    specs[index], traces_dir=traces_dir
+                ), (time.time() - run_started)
             return
         batch_started = time.time()
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=workers
         ) as pool:
             futures = [
-                pool.submit(execute_indexed, (index, specs[index]))
+                pool.submit(
+                    execute_indexed, (index, specs[index], traces_dir)
+                )
                 for index in pending
             ]
             for future in concurrent.futures.as_completed(futures):
@@ -251,6 +267,7 @@ class ParallelRunner:
                     "key": key,
                     "cached": cached,
                     "spec": spec.to_dict(),
+                    "trace_artifact": self._trace_artifact(spec),
                 }
                 for spec, key, cached in zip(specs, keys, cached_flags)
             ],
@@ -266,6 +283,17 @@ class ParallelRunner:
         tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
         os.replace(tmp, path)
         self.last_manifest_path = path
+
+    def _trace_artifact(self, spec: RunSpec) -> typing.Optional[str]:
+        """Manifest entry for a run's trace file (None when untraced).
+
+        Cached traced runs keep pointing at the artifact their original
+        execution wrote -- it is content-addressed by the same cache key.
+        """
+        if not spec.trace or self.traces_dir is None:
+            return None
+        path = trace_artifact_path(self.traces_dir, spec)
+        return str(path) if path.exists() else None
 
     def _emit(self, event: RunEvent) -> None:
         if self.progress is not None:
@@ -283,9 +311,16 @@ def default_runner(
     progress: typing.Optional[
         typing.Callable[[RunEvent], None]
     ] = print_progress,
+    traces_dir: typing.Optional[typing.Union[str, pathlib.Path]] = (
+        "results/traces"
+    ),
 ) -> ParallelRunner:
     """A runner with the conventional on-disk layout under ``results/``."""
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     return ParallelRunner(
-        pool_size=pool_size, cache=cache, runs_dir=runs_dir, progress=progress
+        pool_size=pool_size,
+        cache=cache,
+        runs_dir=runs_dir,
+        progress=progress,
+        traces_dir=traces_dir,
     )

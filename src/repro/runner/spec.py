@@ -30,7 +30,9 @@ from repro.txn.workload import (
 )
 
 #: bump when run semantics change so stale cache entries never resurface
-CACHE_FORMAT_VERSION = 1
+#: (v2: specs carry the ``trace`` flag, so traced and untraced runs hash
+#: to different keys and never collide in the cache)
+CACHE_FORMAT_VERSION = 2
 
 WorkloadBuilder = typing.Callable[..., Workload]
 
@@ -118,6 +120,10 @@ class RunSpec:
     seed: int = 0
     duration_ms: float = 2_000_000.0
     warmup_ms: float = 0.0
+    #: capture a per-run trace artifact (JSONL via MemoryRecorder);
+    #: part of the cache key -- tracing never changes results, but the
+    #: artifact's existence is itself an output of the run
+    trace: bool = False
 
     def to_dict(self) -> typing.Dict[str, typing.Any]:
         return {
@@ -127,6 +133,7 @@ class RunSpec:
             "seed": self.seed,
             "duration_ms": self.duration_ms,
             "warmup_ms": self.warmup_ms,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -138,6 +145,7 @@ class RunSpec:
             seed=int(payload["seed"]),
             duration_ms=float(payload["duration_ms"]),
             warmup_ms=float(payload["warmup_ms"]),
+            trace=bool(payload.get("trace", False)),
         )
 
     def cache_key(self) -> str:
@@ -153,6 +161,8 @@ class RunSpec:
             extras.append(f"dd={self.config.dd}")
         if self.config.mpl is not None:
             extras.append(f"mpl={self.config.mpl}")
+        if self.trace:
+            extras.append("trace")
         suffix = f" [{' '.join(extras)}]" if extras else ""
         return (
             f"{self.scheduler} on {self.workload.kind}"

@@ -2,32 +2,72 @@
 
 Kept in its own importable module so :mod:`multiprocessing` can pickle
 it by reference under any start method (fork and spawn alike).
+
+Traced specs (``spec.trace``) run with a :class:`MemoryRecorder` and
+write their event stream to ``<traces_dir>/<cache_key>.trace.jsonl``
+before returning.  The artifact is content-addressed by the spec's
+cache key, so re-running the same traced spec overwrites the identical
+file and a batch manifest can reference it without coordination.
 """
 
 from __future__ import annotations
 
+import pathlib
 import typing
 
+from repro.obs.export import write_jsonl
+from repro.obs.recorder import MemoryRecorder
 from repro.runner.spec import RunSpec
 from repro.sim.metrics import SimulationResult
 from repro.sim.simulation import run_simulation
 
 
-def execute_spec(spec: RunSpec) -> SimulationResult:
-    """Run the simulation a spec describes; pure given the spec."""
-    return run_simulation(
+def trace_artifact_path(
+    traces_dir: typing.Union[str, pathlib.Path], spec: RunSpec
+) -> pathlib.Path:
+    """Where a traced spec's JSONL artifact lives (content-addressed)."""
+    return pathlib.Path(traces_dir) / f"{spec.cache_key()}.trace.jsonl"
+
+
+def execute_spec(
+    spec: RunSpec,
+    traces_dir: typing.Optional[typing.Union[str, pathlib.Path]] = None,
+) -> SimulationResult:
+    """Run the simulation a spec describes; pure given the spec.
+
+    Tracing observes without perturbing, so the returned result is
+    byte-identical whether or not ``spec.trace`` is set; only the
+    artifact on disk differs.
+    """
+    recorder = MemoryRecorder() if spec.trace else None
+    result = run_simulation(
         spec.scheduler,
         spec.workload.build(),
         spec.config,
         seed=spec.seed,
         duration_ms=spec.duration_ms,
         warmup_ms=spec.warmup_ms,
+        recorder=recorder,
     )
+    if recorder is not None and traces_dir is not None:
+        write_jsonl(
+            recorder.events,
+            trace_artifact_path(traces_dir, spec),
+            meta={
+                "scheduler": spec.scheduler,
+                "workload": spec.workload.kind,
+                "rate_tps": spec.workload.rate_tps,
+                "seed": spec.seed,
+                "duration_ms": spec.duration_ms,
+                "events_dropped": recorder.dropped,
+            },
+        )
+    return result
 
 
 def execute_indexed(
-    job: typing.Tuple[int, RunSpec],
+    job: typing.Tuple[int, RunSpec, typing.Optional[str]],
 ) -> typing.Tuple[int, SimulationResult]:
     """Pool-friendly wrapper carrying the batch index through the pool."""
-    index, spec = job
-    return index, execute_spec(spec)
+    index, spec, traces_dir = job
+    return index, execute_spec(spec, traces_dir=traces_dir)

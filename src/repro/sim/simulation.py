@@ -27,6 +27,7 @@ from repro.des import Environment, RandomStreams
 from repro.des.monitor import TimeWeighted
 from repro.machine.config import MachineConfig
 from repro.machine.machine import SharedNothingMachine
+from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 from repro.sim.metrics import MetricsCollector, SimulationResult
 from repro.txn.transaction import BatchTransaction
 from repro.txn.workload import Workload
@@ -50,6 +51,7 @@ class Simulation:
         auditor: typing.Optional[SerializabilityAuditor] = None,
         scheduler_factory: typing.Optional[SchedulerFactory] = None,
         max_arrivals: typing.Optional[int] = None,
+        recorder: typing.Optional[TraceRecorder] = None,
     ) -> None:
         if duration_ms <= 0:
             raise ValueError(f"duration must be > 0, got {duration_ms}")
@@ -67,6 +69,10 @@ class Simulation:
         self.max_arrivals = max_arrivals
 
         self.env = Environment()
+        #: trace sink; installed on the environment *before* the machine
+        #: and scheduler are built so every component caches the real one
+        self.trace = recorder if recorder is not None else NULL_RECORDER
+        self.env.trace = self.trace
         self.streams = RandomStreams(seed)
         self.machine = SharedNothingMachine(self.env, config)
         if scheduler_factory is not None:
@@ -101,6 +107,10 @@ class Simulation:
             yield self.env.timeout(delay)
             txn = self.workload.make_transaction(self.env.now, self.streams)
             self.in_flight.increment(self.env.now, +1)
+            if self.trace.enabled:
+                self.trace.emit(
+                    self.env.now, "txn.arrive", txn=txn.txn_id, label=txn.label
+                )
             self.env.process(self._execute(txn), name=f"txn-{txn.txn_id}")
             count += 1
 
@@ -134,9 +144,17 @@ class Simulation:
             except TransactionAborted:
                 # deadlock victim (plain 2PL): roll back and restart
                 yield from scheduler.abort(attempt)
+                if self.auditor is not None:
+                    self.auditor.record_abort(attempt.txn_id)
                 if self.env.now >= self.warmup_ms:
                     self.metrics.record_restart()
-                attempt = attempt.restart_copy(self._allocate_restart_id())
+                restarted = attempt.restart_copy(self._allocate_restart_id())
+                if self.trace.enabled:
+                    self.trace.emit(
+                        self.env.now, "txn.restart", txn=attempt.txn_id,
+                        new_txn=restarted.txn_id, reason="deadlock",
+                    )
+                attempt = restarted
                 continue
 
             yield from cn.consume(self.config.cot_time_ms, "commit")
@@ -149,13 +167,27 @@ class Simulation:
                 self.in_flight.increment(self.env.now, -1)
                 return
             yield from scheduler.abort(attempt)
+            if self.auditor is not None:
+                self.auditor.record_abort(attempt.txn_id)
             if self.env.now >= self.warmup_ms:
                 self.metrics.record_restart()
-            attempt = attempt.restart_copy(self._allocate_restart_id())
+            restarted = attempt.restart_copy(self._allocate_restart_id())
+            if self.trace.enabled:
+                self.trace.emit(
+                    self.env.now, "txn.restart", txn=attempt.txn_id,
+                    new_txn=restarted.txn_id, reason="validation",
+                )
+            attempt = restarted
 
     def _run_step(self, txn: BatchTransaction) -> typing.Generator:
         """The machine-level scan of the current step (Section 4.1)."""
         step = txn.current_step
+        if self.trace.enabled:
+            self.trace.emit(
+                self.env.now, "txn.step_start", txn=txn.txn_id,
+                file=step.file_id, step=txn.current_step_index,
+                cost=step.cost,
+            )
         execution = self.machine.begin_step(
             txn.txn_id, step.file_id, step.cost
         )
@@ -168,6 +200,11 @@ class Simulation:
         ]
         yield self.env.all_of(done)
         yield from cn.receive_message()
+        if self.trace.enabled:
+            self.trace.emit(
+                self.env.now, "txn.step_end", txn=txn.txn_id,
+                file=step.file_id, step=txn.current_step_index,
+            )
 
     def _allocate_restart_id(self) -> int:
         self._next_restart_id += 1

@@ -115,3 +115,115 @@ class TestDeferredWrites:
         auditor.record_commit(2, 7.0)
         graph = auditor.serialization_graph()
         assert graph[2] == {1}
+
+
+class TestCompaction:
+    """Committed-prefix compaction: same verdicts, bounded memory."""
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            SerializabilityAuditor(compact_interval=0)
+
+    def test_compact_empty_history(self):
+        auditor = SerializabilityAuditor()
+        assert auditor.compact() == 0
+        assert auditor.is_serializable()
+
+    def test_closed_prefix_is_dropped(self):
+        auditor = SerializabilityAuditor()
+        auditor.record_access(1, 0, X, 1.0)
+        auditor.record_commit(1, 2.0)
+        auditor.record_access(2, 1, X, 10.0)  # live, first access at 10
+        assert auditor.compact() == 1
+        assert auditor.retained_accesses == 1
+        assert auditor.committed_count == 1  # folded, still counted
+        assert auditor.is_serializable()
+
+    def test_live_transaction_pins_watermark(self):
+        auditor = SerializabilityAuditor()
+        auditor.record_access(2, 1, X, 0.5)  # live since before T1's work
+        auditor.record_access(1, 0, X, 1.0)
+        auditor.record_commit(1, 2.0)
+        assert auditor.compact() == 0  # T1 not closed: T2 started earlier
+        assert auditor.retained_accesses == 2
+
+    def test_record_abort_unpins_watermark(self):
+        """Without the abort hint a dead attempt would pin compaction."""
+        auditor = SerializabilityAuditor()
+        auditor.record_access(9, 1, X, 0.1)  # attempt that will abort
+        auditor.record_access(1, 0, X, 1.0)
+        auditor.record_commit(1, 2.0)
+        auditor.record_access(2, 1, X, 10.0)
+        auditor.record_abort(9)
+        assert auditor.compact() == 1
+        assert auditor.retained_accesses == 1  # T9's and T1's gone
+
+    def test_cycle_found_before_compaction_is_frozen(self):
+        auditor = SerializabilityAuditor()
+        auditor.record_access(1, 0, X, 1.0)
+        auditor.record_access(2, 0, X, 2.0)
+        auditor.record_access(2, 1, X, 3.0)
+        auditor.record_access(1, 1, X, 4.0)  # 1 -> 2 on f0, 2 -> 1 on f1
+        auditor.record_commit(1, 5.0)
+        auditor.record_commit(2, 6.0)
+        auditor.record_access(3, 2, X, 50.0)  # live, far in the future
+        assert not auditor.is_serializable()
+        assert auditor.compact() == 2
+        assert auditor.retained_accesses == 1
+        # the accesses are gone, the verdict is not
+        assert not auditor.is_serializable()
+        assert set(auditor.find_cycle()) >= {1, 2}
+
+    def test_auto_compaction_matches_uncompacted_verdict(self):
+        """The regression check: interleaved commit/abort traffic gives
+        identical verdicts with and without ``compact_interval``, while
+        the compacted auditor's buffer stays bounded."""
+        import random
+
+        rng = random.Random(11)
+        plain = SerializabilityAuditor()
+        compacted = SerializabilityAuditor(compact_interval=25)
+        time = 0.0
+        for txn_id in range(1, 120):
+            files = rng.sample(range(6), k=2)
+            for file_id in files:
+                time += 1.0
+                for auditor in (plain, compacted):
+                    auditor.record_access(txn_id, file_id, X, time)
+            time += 1.0
+            if rng.random() < 0.2:
+                for auditor in (plain, compacted):
+                    auditor.record_abort(txn_id)
+            else:
+                for auditor in (plain, compacted):
+                    auditor.record_commit(txn_id, time)
+        assert compacted.is_serializable() == plain.is_serializable()
+        assert compacted.committed_count == plain.committed_count
+        # serial X-X traffic is serializable and compacts to near-nothing
+        assert plain.is_serializable()
+        assert compacted.retained_accesses < plain.retained_accesses
+        assert compacted.retained_accesses <= 25 + 2
+
+    def test_auto_compaction_preserves_cycle_verdict(self):
+        plain = SerializabilityAuditor()
+        compacted = SerializabilityAuditor(compact_interval=3)
+        history = [
+            (1, 0, 1.0), (2, 0, 2.0),  # 1 -> 2 on f0
+            (2, 1, 3.0), (1, 1, 4.0),  # 2 -> 1 on f1: cycle
+        ]
+        for txn_id, file_id, t in history:
+            for auditor in (plain, compacted):
+                auditor.record_access(txn_id, file_id, X, t)
+        for auditor in (plain, compacted):
+            auditor.record_commit(1, 5.0)
+            auditor.record_commit(2, 6.0)
+        # later serial traffic triggers compaction of the cyclic prefix
+        t = 50.0
+        for txn_id in range(3, 12):
+            for auditor in (plain, compacted):
+                auditor.record_access(txn_id, 2, X, t)
+                auditor.record_commit(txn_id, t + 0.5)
+            t += 10.0
+        assert not plain.is_serializable()
+        assert not compacted.is_serializable()
+        assert compacted.retained_accesses < plain.retained_accesses

@@ -1,0 +1,101 @@
+"""Exporter tests: JSONL round trip, Chrome trace shape, text summary."""
+
+import json
+
+from repro.obs import MemoryRecorder, render_summary, to_chrome_trace
+from repro.obs.export import read_jsonl, write_chrome_trace, write_jsonl
+
+
+def _lifecycle_recorder():
+    """A tiny hand-written history exercising every span type."""
+    rec = MemoryRecorder()
+    e = rec.emit
+    e(0.0, "txn.arrive", txn=1, label="B1")
+    e(0.0, "txn.admit", txn=1)
+    e(1.0, "cn.exec_start", category="startup", cost_ms=2.0)
+    e(3.0, "cn.exec_end", category="startup")
+    e(3.0, "txn.lock_wait", txn=2, file=5, mode="EXCLUSIVE")
+    e(3.0, "txn.block", txn=2, file=5, holders=[1])
+    e(4.0, "node.busy", node=0)
+    e(4.0, "node.queue", node=0, depth=1)
+    e(6.0, "node.idle", node=0)
+    e(6.0, "txn.step_start", txn=1, file=5, step=0, cost=2.0)
+    e(8.0, "txn.step_end", txn=1, file=5, step=0)
+    e(8.0, "txn.lock_acquired", txn=2, file=5, wait_ms=5.0)
+    e(9.0, "txn.restart", txn=2, new_txn=10, reason="deadlock")
+    e(9.5, "txn.restart", txn=10, new_txn=11, reason="deadlock")
+    e(10.0, "txn.commit", txn=1, response_ms=10.0)
+    return rec
+
+
+class TestJsonl:
+    def test_round_trip_preserves_records(self, tmp_path):
+        rec = _lifecycle_recorder()
+        path = write_jsonl(rec.events, tmp_path / "t.jsonl", meta={"seed": 3})
+        records = read_jsonl(path)
+        assert len(records) == len(rec.events) + 1
+        assert records[0]["kind"] == "trace.meta"
+        for record, event in zip(records[1:], rec.events):
+            assert record == json.loads(json.dumps(event.to_record()))
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_jsonl([], tmp_path / "a" / "b" / "t.jsonl")
+        assert path.exists()
+
+
+class TestChromeTrace:
+    def test_loads_as_json_and_has_tracks(self, tmp_path):
+        rec = _lifecycle_recorder()
+        path = write_chrome_trace(rec.events, tmp_path / "t.json",
+                                  meta={"scheduler": "LOW"})
+        payload = json.loads(path.read_text())
+        assert payload["otherData"] == {"scheduler": "LOW"}
+        events = payload["traceEvents"]
+        names = {e["name"] for e in events}
+        # one CN slice named by cost category, one DPN busy span,
+        # one per-step scan span, one lock-wait span
+        assert {"startup", "scan", "scan F5", "wait F5"} <= names
+        # process/thread metadata so Perfetto labels the tracks
+        metas = [e for e in events if e["ph"] == "M"]
+        labels = {e["args"]["name"] for e in metas}
+        assert {"machine", "transactions", "CN cpu", "DPN 0", "T1"} <= labels
+
+    def test_span_times_are_microseconds(self):
+        rec = _lifecycle_recorder()
+        events = to_chrome_trace(rec.events)["traceEvents"]
+        cn = next(e for e in events if e["name"] == "startup")
+        assert cn["ts"] == 1000.0 and cn["dur"] == 2000.0  # 1ms..3ms
+
+    def test_open_intervals_closed_as_truncated(self):
+        rec = MemoryRecorder()
+        rec.emit(0.0, "txn.admit", txn=1)
+        rec.emit(2.0, "node.busy", node=3)
+        rec.emit(5.0, "txn.arrive", txn=2, label="B1")  # just advances time
+        events = to_chrome_trace(rec.events)["traceEvents"]
+        truncated = [e for e in events
+                     if e.get("args", {}).get("truncated")]
+        assert {e["name"] for e in truncated} == {"active", "scan"}
+        for e in truncated:
+            assert e["ts"] + e["dur"] == 5.0 * 1000
+
+    def test_empty_stream(self):
+        payload = to_chrome_trace([])
+        # only the process-name metadata records, no spans or instants
+        assert all(e["ph"] == "M" for e in payload["traceEvents"])
+
+
+class TestSummary:
+    def test_mentions_blockers_waits_and_restart_chains(self):
+        text = render_summary(_lifecycle_recorder().events)
+        assert "1 commits" in text
+        assert "T1" in text and "blocked others 1 time(s)" in text
+        assert "F5" in text
+        assert "1 completed waits" in text
+        # two (old, new) pairs stitch into one chain of three attempts
+        assert "2 restart(s) in 1 chain(s)" in text
+        assert "T2 -> T10 -> T11" in text
+
+    def test_empty_stream(self):
+        text = render_summary([])
+        assert "0 events" in text
+        assert "no blocking observed" in text

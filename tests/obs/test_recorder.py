@@ -1,0 +1,65 @@
+"""Unit tests for the trace recorders."""
+
+import pytest
+
+from repro.obs import NULL_RECORDER, MemoryRecorder, NullRecorder, TraceRecorder
+from repro.obs.events import TraceEvent
+
+
+class TestNullRecorder:
+    def test_disabled_by_default(self):
+        assert NullRecorder().enabled is False
+        assert NULL_RECORDER.enabled is False
+
+    def test_enabled_is_class_attribute(self):
+        """The hot-path guard reads a class attribute, not a slot."""
+        assert "enabled" not in NullRecorder.__slots__
+        assert NullRecorder.enabled is False
+
+    def test_emit_is_noop(self):
+        NULL_RECORDER.emit(1.0, "txn.arrive", txn=1, label="B1")
+
+    def test_base_protocol_disabled(self):
+        assert TraceRecorder.enabled is False
+
+
+class TestMemoryRecorder:
+    def test_enabled(self):
+        assert MemoryRecorder().enabled is True
+
+    def test_buffers_in_order(self):
+        rec = MemoryRecorder()
+        rec.emit(1.0, "txn.arrive", txn=1, label="B1")
+        rec.emit(2.0, "txn.admit", txn=1)
+        assert len(rec) == 2
+        assert rec.events[0] == TraceEvent(1.0, "txn.arrive", {"txn": 1, "label": "B1"})
+        assert rec.events[1].kind == "txn.admit"
+
+    def test_max_events_drops_not_evicts(self):
+        rec = MemoryRecorder(max_events=2)
+        for i in range(5):
+            rec.emit(float(i), "txn.admit", txn=i)
+        assert len(rec) == 2
+        assert rec.dropped == 3
+        # the *prefix* is retained, so the history has no gaps
+        assert [e.time for e in rec.events] == [0.0, 1.0]
+
+    def test_max_events_validation(self):
+        with pytest.raises(ValueError):
+            MemoryRecorder(max_events=0)
+
+    def test_clear(self):
+        rec = MemoryRecorder(max_events=1)
+        rec.emit(0.0, "txn.admit", txn=1)
+        rec.emit(1.0, "txn.admit", txn=2)
+        rec.clear()
+        assert len(rec) == 0 and rec.dropped == 0
+        rec.emit(2.0, "txn.admit", txn=3)
+        assert len(rec) == 1
+
+    def test_kinds_counts(self):
+        rec = MemoryRecorder()
+        rec.emit(0.0, "txn.admit", txn=1)
+        rec.emit(1.0, "txn.admit", txn=2)
+        rec.emit(2.0, "txn.commit", txn=1, response_ms=5.0)
+        assert rec.kinds() == {"txn.admit": 2, "txn.commit": 1}

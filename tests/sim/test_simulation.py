@@ -138,6 +138,16 @@ class TestSerializability:
         assert auditor.committed_count > 10
         assert auditor.is_serializable(), auditor.find_cycle()
 
+    def test_compacting_auditor_matches_uncompacted_on_real_run(self):
+        """Compaction is a pure memory optimisation over a live history."""
+        plain = SerializabilityAuditor()
+        compacted = SerializabilityAuditor(compact_interval=50)
+        quick("C2PL", rate=0.8, duration=200_000, auditor=plain, seed=3)
+        quick("C2PL", rate=0.8, duration=200_000, auditor=compacted, seed=3)
+        assert compacted.is_serializable() == plain.is_serializable()
+        assert compacted.committed_count == plain.committed_count
+        assert compacted.retained_accesses < plain.retained_accesses
+
     def test_nodc_upper_bound_ignores_serializability(self):
         """NODC exists as a bound; with write-write overlap it is
         generally NOT serializable -- document that by construction."""

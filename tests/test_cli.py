@@ -83,3 +83,82 @@ class TestCommands:
     def test_run_unknown_scheduler_raises(self):
         with pytest.raises(KeyError):
             main(["run", "NOPE", "--duration", "1000", "--warmup", "0"])
+
+
+class TestTraceCommand:
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "LOW"])
+        assert args.jsonl == "trace.jsonl"
+        assert args.chrome == ""
+        assert args.top == 5
+        assert args.max_events is None
+
+    def test_trace_writes_artifacts_and_summary(self, tmp_path, capsys):
+        jsonl = tmp_path / "t.jsonl"
+        chrome = tmp_path / "t.json"
+        code = main([
+            "trace", "C2PL", "--rate", "0.6",
+            "--duration", "40000", "--warmup", "0",
+            "--jsonl", str(jsonl), "--chrome", str(chrome),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "schema valid" in out
+        assert "trace summary" in out
+        assert "events by kind" in out
+        assert jsonl.exists() and chrome.exists()
+
+    def test_trace_jsonl_can_be_disabled(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main([
+            "trace", "NODC", "--rate", "0.4",
+            "--duration", "20000", "--warmup", "0", "--jsonl", "",
+        ])
+        assert code == 0
+        assert not (tmp_path / "trace.jsonl").exists()
+        assert "trace summary" in capsys.readouterr().out
+
+    def test_trace_max_events_warns_on_drop(self, tmp_path, capsys):
+        code = main([
+            "trace", "NODC", "--rate", "0.6",
+            "--duration", "40000", "--warmup", "0",
+            "--jsonl", str(tmp_path / "t.jsonl"), "--max-events", "10",
+        ])
+        assert code == 0
+        assert "dropped" in capsys.readouterr().out
+
+    def test_trace_bad_max_events(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "LOW", "--max-events", "0",
+                  "--duration", "1000", "--warmup", "0"])
+
+
+class TestSweepCommand:
+    def test_sweep_reports_cache_counts_and_manifest(self, tmp_path, capsys):
+        argv = [
+            "sweep", "NODC", "--rates", "0.4",
+            "--duration", "20000", "--warmup", "0",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--runs-dir", str(tmp_path / "runs"),
+            "--traces-dir", str(tmp_path / "traces"),
+            "--pool", "1",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache hits=0 misses=1 simulated=1 coalesced=0" in out
+        assert f"manifest={tmp_path / 'runs'}" in out
+        # the repeat is served entirely from the cache
+        assert main(argv) == 0
+        assert "cache hits=1 misses=0" in capsys.readouterr().out
+
+    def test_sweep_trace_reports_artifacts(self, tmp_path, capsys):
+        assert main([
+            "sweep", "NODC", "--rates", "0.4", "--trace",
+            "--duration", "20000", "--warmup", "0",
+            "--cache-dir", "", "--runs-dir", "",
+            "--traces-dir", str(tmp_path / "traces"),
+            "--pool", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace artifacts: 1 file(s)" in out
+        assert len(list((tmp_path / "traces").iterdir())) == 1
