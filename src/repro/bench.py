@@ -1,0 +1,363 @@
+"""Simulator performance benchmarking and regression detection.
+
+``repro bench`` runs a *pinned* scheduler x rate x declustering matrix
+(:data:`BENCH_MATRIX`) through the parallel runner's bench path -- no
+result cache, self-profiler attached -- and writes one
+``BENCH_<ISO-date>.json`` artifact per invocation recording, per cell:
+
+- ``events_per_s``   -- DES events processed per wall second (the
+  primary speed metric; model-independent and horizon-independent);
+- ``wall_per_sim_s`` -- wall seconds per simulated second;
+- the per-phase wall-time breakdown from
+  :class:`~repro.obs.profile.PhaseProfiler`.
+
+``repro bench --compare A B`` diffs two artifacts cell-by-cell (keyed
+by scheduler/workload/rate/dd/seed/duration) and flags any cell whose
+``events_per_s`` dropped by more than the tolerance -- the CI bench job
+runs exactly this against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import platform
+import time
+import typing
+
+from repro.machine.config import MachineConfig
+from repro.runner.spec import RunSpec, WorkloadSpec
+
+PathLike = typing.Union[str, pathlib.Path]
+
+#: bump when the BENCH_*.json payload changes incompatibly
+BENCH_SCHEMA_VERSION = 1
+
+#: default regression tolerance: fail when events/s drops > 25%
+DEFAULT_TOLERANCE = 0.25
+
+#: the pinned measurement matrix: (scheduler, rate_tps, dd) cells.
+#: Chosen to cover the cost spectrum -- C2PL (predeclared locking),
+#: GOW/LOW (WTPG maintenance), OPT (validation), 2PL (deadlock tests) --
+#: at a light and a heavy arrival rate, partitioned and declustered.
+BENCH_MATRIX: typing.Tuple[typing.Tuple[str, float, int], ...] = tuple(
+    (scheduler, rate, dd)
+    for scheduler in ("C2PL", "GOW", "LOW", "OPT", "2PL")
+    for rate in (0.8, 1.2)
+    for dd in (1, 4)
+)
+
+#: default simulated horizon of one bench cell (ms); CI uses a shorter
+#: one via ``--duration``
+DEFAULT_DURATION_MS = 200_000.0
+
+
+def bench_specs(
+    duration_ms: float = DEFAULT_DURATION_MS,
+    seed: int = 0,
+    matrix: typing.Sequence[typing.Tuple[str, float, int]] = BENCH_MATRIX,
+) -> typing.List[RunSpec]:
+    """Materialise the pinned matrix as cache-bypassing run specs."""
+    return [
+        RunSpec(
+            scheduler=scheduler,
+            workload=WorkloadSpec.make("exp1", rate),
+            config=MachineConfig(dd=dd),
+            seed=seed,
+            duration_ms=duration_ms,
+            warmup_ms=0.0,
+        )
+        for scheduler, rate, dd in matrix
+    ]
+
+
+def host_info() -> typing.Dict[str, typing.Any]:
+    """The machine identity attached to every artifact.
+
+    Speed numbers are only comparable on like hardware; ``--compare``
+    warns when the two artifacts disagree on any of these fields.
+    """
+    import os
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def bench_payload(
+    rows: typing.Sequence[typing.Mapping[str, typing.Any]],
+    git_sha: typing.Optional[str] = None,
+) -> typing.Dict[str, typing.Any]:
+    """Assemble the stable-schema BENCH artifact from bench rows."""
+    return {
+        "bench_schema_version": BENCH_SCHEMA_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_sha": git_sha,
+        "host": host_info(),
+        "runs": [dict(row) for row in rows],
+    }
+
+
+def default_bench_path(
+    out_dir: PathLike, created: typing.Optional[str] = None
+) -> pathlib.Path:
+    """``<out_dir>/BENCH_<ISO-date>.json`` (date = today by default)."""
+    date = (created or time.strftime("%Y-%m-%d"))[:10]
+    return pathlib.Path(out_dir) / f"BENCH_{date}.json"
+
+
+def write_bench_json(
+    payload: typing.Mapping[str, typing.Any], path: PathLike
+) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_bench_json(path: PathLike) -> typing.Dict[str, typing.Any]:
+    """Load and schema-check a BENCH artifact."""
+    payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    validate_bench(payload)
+    return payload
+
+
+def validate_bench(payload: typing.Mapping[str, typing.Any]) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid BENCH artifact."""
+    if not isinstance(payload, dict):
+        raise ValueError("bench artifact must be a JSON object")
+    version = payload.get("bench_schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"bench schema {version!r} != supported {BENCH_SCHEMA_VERSION}"
+        )
+    runs = payload.get("runs")
+    if not isinstance(runs, list) or not runs:
+        raise ValueError("bench artifact needs a non-empty 'runs' list")
+    required = (
+        "scheduler", "workload", "dd", "seed", "duration_ms",
+        "wall_s", "events", "events_per_s", "wall_per_sim_s", "profile",
+    )
+    for row in runs:
+        missing = [field for field in required if field not in row]
+        if missing:
+            raise ValueError(f"bench run lacks field(s) {missing}: {row!r}")
+
+
+# -- comparison ---------------------------------------------------------------
+
+RunKey = typing.Tuple[str, str, float, int, int, float]
+
+
+def _run_key(row: typing.Mapping[str, typing.Any]) -> RunKey:
+    workload = row["workload"]
+    return (
+        row["scheduler"],
+        workload["kind"],
+        float(workload["rate_tps"]),
+        int(row["dd"]),
+        int(row["seed"]),
+        float(row["duration_ms"]),
+    )
+
+
+#: a comparison fails on cell count alone only when at least this
+#: fraction of matched cells regressed -- single-cell wall-clock noise
+#: routinely exceeds any usable per-cell tolerance on shared hardware,
+#: while a real slowdown hits the aggregate or a whole scheduler's
+#: cells (4/20 of the pinned matrix)
+REGRESSION_QUORUM = 0.2
+
+
+def compare_bench(
+    baseline: typing.Mapping[str, typing.Any],
+    current: typing.Mapping[str, typing.Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> typing.Dict[str, typing.Any]:
+    """Diff two BENCH artifacts on ``events_per_s``, cell by cell.
+
+    A cell *regresses* when its current speed falls below
+    ``baseline * (1 - tolerance)``.  Cells present in only one artifact
+    are reported but never fail the comparison (the matrix may grow).
+
+    The overall verdict (``failed``) is noise-hardened: it trips when
+    the *aggregate* speed over all matched cells (total events / total
+    wall) regressed beyond the tolerance, or when at least
+    :data:`REGRESSION_QUORUM` of the matched cells regressed
+    individually (minimum one).  A single noisy cell on an otherwise
+    healthy run reports as a regression but does not fail the gate.
+    """
+    if not 0 < tolerance < 1:
+        raise ValueError(f"tolerance must be in (0, 1), got {tolerance}")
+    base_rows = {_run_key(row): row for row in baseline["runs"]}
+    curr_rows = {_run_key(row): row for row in current["runs"]}
+    cells = []
+    regressions = 0
+    for key in sorted(set(base_rows) | set(curr_rows)):
+        base, curr = base_rows.get(key), curr_rows.get(key)
+        cell: typing.Dict[str, typing.Any] = {
+            "scheduler": key[0],
+            "workload": key[1],
+            "rate_tps": key[2],
+            "dd": key[3],
+            "seed": key[4],
+            "duration_ms": key[5],
+            "baseline_events_per_s": base and base["events_per_s"],
+            "current_events_per_s": curr and curr["events_per_s"],
+        }
+        if base is None or curr is None:
+            cell["status"] = "baseline-only" if curr is None else "new"
+        else:
+            ratio = curr["events_per_s"] / base["events_per_s"]
+            cell["ratio"] = round(ratio, 4)
+            if ratio < 1.0 - tolerance:
+                cell["status"] = "regression"
+                regressions += 1
+            else:
+                cell["status"] = "ok"
+        cells.append(cell)
+    host_mismatch = [
+        field
+        for field in ("platform", "machine", "python", "implementation")
+        if baseline.get("host", {}).get(field)
+        != current.get("host", {}).get(field)
+    ]
+    matched = sorted(set(base_rows) & set(curr_rows))
+    aggregate: typing.Optional[typing.Dict[str, typing.Any]] = None
+    if matched:
+        base_wall = sum(base_rows[k]["wall_s"] for k in matched)
+        curr_wall = sum(curr_rows[k]["wall_s"] for k in matched)
+        if base_wall > 0 and curr_wall > 0:
+            base_speed = sum(
+                base_rows[k]["events"] for k in matched
+            ) / base_wall
+            curr_speed = sum(
+                curr_rows[k]["events"] for k in matched
+            ) / curr_wall
+            aggregate = {
+                "baseline_events_per_s": round(base_speed, 3),
+                "current_events_per_s": round(curr_speed, 3),
+                "ratio": round(curr_speed / base_speed, 4),
+            }
+    quorum = max(1, math.ceil(REGRESSION_QUORUM * len(matched)))
+    fail_reasons = []
+    if aggregate is not None and aggregate["ratio"] < 1.0 - tolerance:
+        fail_reasons.append(
+            f"aggregate speed ratio {aggregate['ratio']:.3f} below "
+            f"{1.0 - tolerance:.2f}"
+        )
+    if regressions >= quorum:
+        fail_reasons.append(
+            f"{regressions} of {len(matched)} matched cell(s) regressed "
+            f"(quorum {quorum})"
+        )
+    return {
+        "tolerance": tolerance,
+        "cells": cells,
+        "regressions": regressions,
+        "aggregate": aggregate,
+        "quorum": quorum,
+        "failed": bool(fail_reasons),
+        "fail_reasons": fail_reasons,
+        "host_mismatch": host_mismatch,
+        "baseline_sha": baseline.get("git_sha"),
+        "current_sha": current.get("git_sha"),
+    }
+
+
+# -- terminal rendering -------------------------------------------------------
+
+
+def render_bench_report(payload: typing.Mapping[str, typing.Any]) -> str:
+    """One line per bench cell, plus an aggregate phase breakdown."""
+    lines = [
+        f"bench: {len(payload['runs'])} cell(s), "
+        f"git={payload.get('git_sha') or '?'}, "
+        f"python={payload.get('host', {}).get('python', '?')}",
+        "",
+        f"  {'scheduler':<8} {'rate':>5} {'dd':>3} {'wall_s':>8} "
+        f"{'events':>9} {'events/s':>10} {'wall/sim_s':>11}",
+    ]
+    phase_totals: typing.Dict[str, float] = {}
+    wall_total = 0.0
+    for row in payload["runs"]:
+        workload = row["workload"]
+        lines.append(
+            f"  {row['scheduler']:<8} {workload['rate_tps']:>5g} "
+            f"{row['dd']:>3} {row['wall_s']:>8.3f} {row['events']:>9} "
+            f"{row['events_per_s']:>10.0f} {row['wall_per_sim_s']:>11.3g}"
+        )
+        wall_total += row["wall_s"]
+        for phase, body in row["profile"]["phases"].items():
+            phase_totals[phase] = phase_totals.get(phase, 0.0) + (
+                body["seconds"]
+            )
+    lines.append("")
+    lines.append(f"  total wall: {wall_total:.2f} s; phase breakdown:")
+    covered = sum(phase_totals.values())
+    phase_totals["other"] = max(0.0, wall_total - covered)
+    for phase in sorted(phase_totals, key=phase_totals.get, reverse=True):
+        seconds = phase_totals[phase]
+        share = seconds / wall_total * 100.0 if wall_total > 0 else 0.0
+        lines.append(f"    {phase:<16} {seconds:>8.3f} s  {share:>5.1f}%")
+    return "\n".join(lines)
+
+
+def render_compare_report(report: typing.Mapping[str, typing.Any]) -> str:
+    """Terminal diff of :func:`compare_bench` output."""
+    lines = [
+        f"bench compare: tolerance {report['tolerance'] * 100:.0f}%, "
+        f"baseline git={report.get('baseline_sha') or '?'} -> "
+        f"current git={report.get('current_sha') or '?'}",
+    ]
+    if report["host_mismatch"]:
+        lines.append(
+            "  WARNING: hosts differ on "
+            f"{', '.join(report['host_mismatch'])}; speed deltas may "
+            "reflect hardware, not code"
+        )
+    lines.append("")
+    lines.append(
+        f"  {'scheduler':<8} {'rate':>5} {'dd':>3} {'base ev/s':>10} "
+        f"{'curr ev/s':>10} {'ratio':>7}  status"
+    )
+    for cell in report["cells"]:
+        base = cell["baseline_events_per_s"]
+        curr = cell["current_events_per_s"]
+        ratio = cell.get("ratio")
+        lines.append(
+            f"  {cell['scheduler']:<8} {cell['rate_tps']:>5g} "
+            f"{cell['dd']:>3} "
+            f"{base if base is not None else '-':>10} "
+            f"{curr if curr is not None else '-':>10} "
+            f"{f'{ratio:.3f}' if ratio is not None else '-':>7}  "
+            f"{cell['status']}"
+        )
+    lines.append("")
+    aggregate = report.get("aggregate")
+    if aggregate is not None:
+        lines.append(
+            f"  aggregate: {aggregate['baseline_events_per_s']:.0f} -> "
+            f"{aggregate['current_events_per_s']:.0f} events/s "
+            f"(ratio {aggregate['ratio']:.3f})"
+        )
+    if report["failed"]:
+        for reason in report["fail_reasons"]:
+            lines.append(f"  FAIL: {reason}")
+    elif report["regressions"]:
+        lines.append(
+            f"  OK (noisy): {report['regressions']} cell(s) regressed but "
+            f"neither the aggregate nor the quorum of {report['quorum']} "
+            "tripped"
+        )
+    else:
+        lines.append("  OK: no cell regressed beyond tolerance")
+    return "\n".join(lines)

@@ -7,7 +7,10 @@ Commands:
   optional Chrome/Perfetto trace, terminal summary.
 - ``sweep``       -- a scheduler x rate grid through the parallel runner
   (worker pool + result cache + run manifest; ``--trace`` captures a
-  per-run trace artifact).
+  per-run trace artifact, ``--timeseries`` a sampled-series artifact).
+- ``report``      -- terminal sparkline view of a series artifact.
+- ``bench``       -- the pinned perf matrix -> ``BENCH_<date>.json``;
+  ``--compare A B`` diffs two artifacts and fails on regressions.
 - ``schedulers``  -- list the registered schedulers.
 - ``experiments`` -- list the paper's tables/figures and how to run them.
 """
@@ -18,17 +21,25 @@ import argparse
 import sys
 import typing
 
+from repro import bench as bench_mod
 from repro.analysis import render_table
 from repro.core.registry import available
 from repro.machine.config import MachineConfig
 from repro.obs import (
     MemoryRecorder,
+    TimeSeriesSampler,
+    load_series_json,
+    render_series_report,
     render_summary,
     validate_jsonl,
     write_chrome_trace,
     write_jsonl,
+    write_series_csv,
+    write_series_json,
 )
+from repro.obs.schema import TraceSchemaError
 from repro.runner import ParallelRunner, ResultCache, RunSpec, WorkloadSpec
+from repro.runner.runner import _git_sha
 from repro.sim.simulation import run_simulation
 from repro.txn.workload import (
     experiment1_workload,
@@ -62,6 +73,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one simulation")
     _add_single_run_args(run)
+    run.add_argument("--series", default="",
+                     help="sample trajectories and write this series JSON "
+                          "('' disables)")
+    run.add_argument("--series-csv", default="",
+                     help="also write the samples as long-format CSV")
+    run.add_argument("--sample-interval", type=float, default=1_000.0,
+                     help="series sample interval in simulated ms "
+                          "(default 1000)")
 
     trc = sub.add_parser(
         "trace",
@@ -110,6 +129,45 @@ def build_parser() -> argparse.ArgumentParser:
                      help="capture a JSONL trace artifact per run")
     swp.add_argument("--traces-dir", default="results/traces",
                      help="trace artifact directory (default results/traces)")
+    swp.add_argument("--timeseries", action="store_true",
+                     help="capture a sampled time-series artifact per run")
+    swp.add_argument("--series-dir", default="results/series",
+                     help="series artifact directory (default results/series)")
+
+    rpt = sub.add_parser(
+        "report",
+        help="terminal sparkline report of a time-series artifact",
+    )
+    rpt.add_argument("series", help="a *.series.json artifact to render")
+    rpt.add_argument("--width", type=int, default=48,
+                     help="sparkline width in cells (default 48)")
+
+    ben = sub.add_parser(
+        "bench",
+        help="run the pinned perf matrix (or --compare two artifacts)",
+    )
+    ben.add_argument("--compare", nargs=2, metavar=("BASELINE", "CURRENT"),
+                     default=None,
+                     help="diff two BENCH_*.json files instead of running")
+    ben.add_argument("--tolerance", type=float,
+                     default=bench_mod.DEFAULT_TOLERANCE,
+                     help="regression tolerance as a fraction "
+                          f"(default {bench_mod.DEFAULT_TOLERANCE})")
+    ben.add_argument("--out", default="results/bench",
+                     help="artifact directory (default results/bench)")
+    ben.add_argument("--output", default="",
+                     help="exact artifact path (overrides --out naming)")
+    ben.add_argument("--duration", type=float,
+                     default=bench_mod.DEFAULT_DURATION_MS,
+                     help="simulated ms per cell "
+                          f"(default {bench_mod.DEFAULT_DURATION_MS:g})")
+    ben.add_argument("--seed", type=int, default=0)
+    ben.add_argument("--repeats", type=int, default=3,
+                     help="simulate each cell N times, report the fastest "
+                          "(default 3; the noise filter)")
+    ben.add_argument("--pool", type=int, default=1,
+                     help="worker processes (default 1: serial runs give "
+                          "the stablest wall-clock numbers)")
 
     sub.add_parser("schedulers", help="list registered schedulers")
     sub.add_parser("experiments", help="list the paper's tables/figures")
@@ -157,11 +215,20 @@ def _check_horizon(args: argparse.Namespace) -> None:
 
 def _command_run(args: argparse.Namespace) -> int:
     _check_horizon(args)
+    if args.sample_interval <= 0:
+        raise SystemExit(
+            f"--sample-interval must be > 0, got {args.sample_interval:g}"
+        )
     config = MachineConfig(
         num_nodes=args.num_nodes,
         num_files=args.num_files,
         dd=args.dd,
         mpl=args.mpl,
+    )
+    sampler = (
+        TimeSeriesSampler(interval_ms=args.sample_interval)
+        if (args.series or args.series_csv)
+        else None
     )
     result = run_simulation(
         args.scheduler,
@@ -170,7 +237,23 @@ def _command_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         duration_ms=args.duration,
         warmup_ms=args.warmup,
+        sampler=sampler,
     )
+    if sampler is not None:
+        meta = {
+            "scheduler": args.scheduler,
+            "workload": args.workload,
+            "rate_tps": args.rate,
+            "seed": args.seed,
+            "duration_ms": args.duration,
+        }
+        if args.series:
+            path = write_series_json(sampler, args.series, meta=meta)
+            print(f"[series] {sampler.samples_taken} sample(s) x "
+                  f"{len(sampler.series)} series -> {path}")
+        if args.series_csv:
+            path = write_series_csv(sampler, args.series_csv)
+            print(f"[series] long-format CSV -> {path}")
     print(render_table(
         ["metric", "value"],
         [
@@ -182,6 +265,7 @@ def _command_run(args: argparse.Namespace) -> int:
             ["throughput (TPS)", result.throughput_tps],
             ["mean response (s)", result.mean_response_s],
             ["p95 response (s)", result.p95_response_ms / 1000.0],
+            ["p95 exact", result.p95_exact],
             ["DPN utilisation", result.dpn_utilisation],
             ["CN utilisation", result.cn_utilisation],
             ["blocks", result.blocks],
@@ -219,21 +303,28 @@ def _command_trace(args: argparse.Namespace) -> int:
         "rate_tps": args.rate,
         "seed": args.seed,
         "duration_ms": args.duration,
-        "events_dropped": recorder.dropped,
     }
     if args.jsonl:
-        path = write_jsonl(recorder.events, args.jsonl, meta=meta)
-        count = validate_jsonl(path)
+        path = write_jsonl(recorder.events, args.jsonl, meta=meta,
+                           dropped=recorder.dropped)
+        try:
+            count = validate_jsonl(path)
+        except TraceSchemaError as exc:
+            print(f"[trace] ERROR: schema validation failed: {exc}",
+                  file=sys.stderr)
+            return 1
         print(f"[trace] {count} event(s) -> {path} (schema valid)")
     if args.chrome:
-        path = write_chrome_trace(recorder.events, args.chrome, meta=meta)
+        path = write_chrome_trace(recorder.events, args.chrome, meta=meta,
+                                  dropped=recorder.dropped)
         print(f"[trace] chrome trace -> {path} "
               "(open in ui.perfetto.dev or chrome://tracing)")
     if recorder.dropped:
         print(f"[trace] WARNING: {recorder.dropped} event(s) dropped at "
               f"the --max-events cap ({args.max_events})")
     print()
-    print(render_summary(recorder.events, top=args.top))
+    print(render_summary(recorder.events, top=args.top,
+                         dropped=recorder.dropped))
     print()
     print(f"[trace] committed={result.completed} "
           f"throughput={result.throughput_tps:.4g} TPS "
@@ -275,6 +366,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         cache=ResultCache(args.cache_dir) if args.cache_dir else None,
         runs_dir=args.runs_dir or None,
         traces_dir=args.traces_dir or None,
+        series_dir=args.series_dir or None,
     )
     specs = [
         RunSpec(
@@ -285,6 +377,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
             duration_ms=args.duration,
             warmup_ms=args.warmup,
             trace=args.trace,
+            timeseries=args.timeseries,
         )
         for rate in rates
         for scheduler in schedulers
@@ -331,6 +424,60 @@ def _command_sweep(args: argparse.Namespace) -> int:
         ]
         print(f"[runner] trace artifacts: {len(traced)} file(s) under "
               f"{args.traces_dir or '(disabled)'}")
+    if args.timeseries:
+        sampled = [
+            run["series_artifact"]
+            for run in (runner.last_batch or {}).get("runs", [])
+            if run.get("series_artifact")
+        ]
+        print(f"[runner] series artifacts: {len(sampled)} file(s) under "
+              f"{args.series_dir or '(disabled)'}; view one with "
+              "'python -m repro report <file>'")
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    try:
+        payload = load_series_json(args.series)
+    except (OSError, ValueError) as exc:
+        print(f"[report] ERROR: {exc}", file=sys.stderr)
+        return 1
+    print(render_series_report(payload, width=args.width))
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    if args.compare is not None:
+        try:
+            baseline = bench_mod.load_bench_json(args.compare[0])
+            current = bench_mod.load_bench_json(args.compare[1])
+        except (OSError, ValueError) as exc:
+            print(f"[bench] ERROR: {exc}", file=sys.stderr)
+            return 1
+        report = bench_mod.compare_bench(
+            baseline, current, tolerance=args.tolerance
+        )
+        print(bench_mod.render_compare_report(report))
+        return 1 if report["failed"] else 0
+    if args.duration <= 0:
+        raise SystemExit(f"--duration must be > 0, got {args.duration:g}")
+    if args.repeats < 1:
+        raise SystemExit(f"--repeats must be >= 1, got {args.repeats}")
+    runner = ParallelRunner(pool_size=args.pool, cache=None, runs_dir=None)
+    rows = runner.run_bench(
+        bench_mod.bench_specs(duration_ms=args.duration, seed=args.seed),
+        label="cli-bench",
+        repeats=args.repeats,
+    )
+    payload = bench_mod.bench_payload(rows, git_sha=_git_sha())
+    bench_mod.validate_bench(payload)
+    path = args.output or bench_mod.default_bench_path(
+        args.out, payload["created"]
+    )
+    path = bench_mod.write_bench_json(payload, path)
+    print(bench_mod.render_bench_report(payload))
+    print()
+    print(f"[bench] artifact -> {path} (schema valid)")
     return 0
 
 
@@ -359,6 +506,10 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
             return _command_trace(args)
         if args.command == "sweep":
             return _command_sweep(args)
+        if args.command == "report":
+            return _command_report(args)
+        if args.command == "bench":
+            return _command_bench(args)
         if args.command == "schedulers":
             return _command_schedulers()
         return _command_experiments()

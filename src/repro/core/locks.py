@@ -78,6 +78,10 @@ class LockTable:
     def holds(self, txn_id: int, file_id: int) -> bool:
         return txn_id in self._lock(file_id).holders
 
+    def held_count(self) -> int:
+        """Number of files currently locked by anyone (table size)."""
+        return sum(1 for lock in self._locks if lock.holders)
+
     def files_held_by(self, txn_id: int) -> typing.List[int]:
         """All files the transaction holds (any mode)."""
         return [

@@ -16,6 +16,7 @@ from __future__ import annotations
 import typing
 
 from repro.core.base import Decision, Scheduler
+from repro.obs.timeseries import gauge, size_hist
 from repro.txn.step import AccessMode
 from repro.txn.transaction import BatchTransaction
 
@@ -91,6 +92,18 @@ class OPTScheduler(Scheduler):
         self._prune_commit_log()
         return
         yield  # pragma: no cover - generator marker
+
+    def timeseries_probes(
+        self,
+    ) -> typing.Dict[str, typing.Dict[str, typing.Any]]:
+        """Base catalogue plus the backward-validation log size."""
+        probes = super().timeseries_probes()
+        probes["sched.commit_log"] = {
+            "probe": gauge(lambda: len(self._commit_log)),
+            "unit": "records",
+            "hist": size_hist(),
+        }
+        return probes
 
     def _prune_commit_log(self) -> None:
         """Drop records no active transaction could conflict with."""

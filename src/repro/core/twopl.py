@@ -17,6 +17,7 @@ from __future__ import annotations
 import typing
 
 from repro.core.base import Decision, Scheduler
+from repro.obs.timeseries import gauge, size_hist
 from repro.txn.step import AccessMode
 from repro.txn.transaction import BatchTransaction
 
@@ -76,6 +77,20 @@ class TwoPLScheduler(Scheduler):
 
     def _doomed_check(self, txn: BatchTransaction) -> bool:
         return txn.txn_id in self._doomed
+
+    def timeseries_probes(
+        self,
+    ) -> typing.Dict[str, typing.Dict[str, typing.Any]]:
+        """Base catalogue plus the waits-for graph's live edge count."""
+        probes = super().timeseries_probes()
+        probes["sched.waits_for_edges"] = {
+            "probe": gauge(
+                lambda: sum(len(v) for v in self._waits_for.values())
+            ),
+            "unit": "edges",
+            "hist": size_hist(),
+        }
+        return probes
 
     def _find_deadlock_victim(self, start: int) -> typing.Optional[int]:
         """DFS the waits-for graph from ``start``; on a cycle through

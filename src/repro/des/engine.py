@@ -11,8 +11,12 @@ import heapq
 import typing
 
 from repro.des.events import AllOf, AnyOf, Event, Timeout
+from repro.obs.profile import NULL_PROFILER, SimProfiler
 from repro.des.process import Process, ProcessGenerator
 from repro.obs.recorder import NULL_RECORDER, TraceRecorder
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.timeseries import TimeSeriesSampler
 
 
 class StopSimulation(Exception):
@@ -40,6 +44,13 @@ class Environment:
         #: stays the shared no-op recorder unless a run installs a real
         #: one *before* building components (they cache the reference)
         self.trace: TraceRecorder = NULL_RECORDER
+        #: the wall-clock self-profiler; same install-before-build
+        #: contract as ``trace`` (components cache the reference)
+        self.profile: SimProfiler = NULL_PROFILER
+        #: optional time-series sampler, consulted once per event pop
+        self.sampler: typing.Optional["TimeSeriesSampler"] = None
+        #: events fired so far (simulator throughput accounting)
+        self.events_processed = 0
 
     # -- clock -------------------------------------------------------------
 
@@ -84,7 +95,17 @@ class Environment:
     ) -> None:
         """Enqueue a triggered event to fire ``delay`` from now."""
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        profile = self.profile
+        if profile.enabled:
+            profile.push("des.heap")
+            heapq.heappush(
+                self._queue, (self._now + delay, priority, self._seq, event)
+            )
+            profile.pop()
+        else:
+            heapq.heappush(
+                self._queue, (self._now + delay, priority, self._seq, event)
+            )
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
@@ -94,8 +115,20 @@ class Environment:
         """Fire the single next event (advancing the clock to it)."""
         if not self._queue:
             raise StopSimulation("event queue is empty")
-        when, _priority, _seq, event = heapq.heappop(self._queue)
+        profile = self.profile
+        if profile.enabled:
+            profile.push("des.heap")
+            when, _priority, _seq, event = heapq.heappop(self._queue)
+            profile.pop()
+        else:
+            when, _priority, _seq, event = heapq.heappop(self._queue)
+        sampler = self.sampler
+        if sampler is not None and when >= sampler.next_due:
+            # sample every boundary the clock is about to cross, before
+            # the events at the new time fire (sample-and-hold)
+            sampler.advance_to(when)
         self._now = when
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, []
         event._mark_processed()
         for callback in callbacks:
@@ -152,5 +185,10 @@ class Environment:
             raise typing.cast(BaseException, stop_event.value)
 
         if stop_at != float("inf"):
+            sampler = self.sampler
+            if sampler is not None and stop_at >= sampler.next_due:
+                # boundaries between the last event and the horizon:
+                # state is frozen, so sample-and-hold extends to the end
+                sampler.advance_to(stop_at)
             self._now = stop_at
         return None

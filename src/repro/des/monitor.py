@@ -110,11 +110,23 @@ class Tally:
         var = self.variance
         return math.sqrt(var) if not math.isnan(var) else math.nan
 
+    @property
+    def is_exact(self) -> bool:
+        """True while percentiles are exact (reservoir never kicked in).
+
+        Once more observations arrive than ``keep_samples`` retains, the
+        sample set degrades to a uniform reservoir: percentiles are
+        still unbiased *estimates* but no longer exact order statistics.
+        Consumers reporting percentiles should surface this flag instead
+        of letting estimated numbers read as exact.
+        """
+        return self._sample_cap is None or self.count <= self._sample_cap
+
     def percentile(self, q: float) -> float:
         """q-th percentile (0..100) by nearest-rank; needs keep_samples().
 
         Exact while at most ``cap`` values were observed, estimated from
-        the uniform reservoir beyond that.
+        the uniform reservoir beyond that (see :attr:`is_exact`).
         """
         if self._samples is None:
             raise RuntimeError("call keep_samples() before percentile()")
@@ -171,13 +183,22 @@ class TimeWeighted:
         self._last_change = now
         self.maximum = self._value
 
+    def integral(self, now: float) -> float:
+        """Area under the signal over [reset-time, now].
+
+        ``now`` may lie ahead of the last update: the signal is
+        piecewise-constant, so the current level simply extends.  The
+        time-series sampler diffs consecutive integrals to report
+        per-window means without touching the signal itself.
+        """
+        return self._area + self._value * (now - self._last_change)
+
     def time_average(self, now: float) -> float:
         """Average level over [reset-time, now]; NaN on a zero window."""
         span = now - self._start
         if span <= 0:
             return math.nan
-        area = self._area + self._value * (now - self._last_change)
-        return area / span
+        return self.integral(now) / span
 
     def __repr__(self) -> str:
         return f"<TimeWeighted {self.name!r} value={self._value:.4g}>"

@@ -15,6 +15,12 @@ import typing
 from repro.des import Environment, Resource
 from repro.des.monitor import Counter, TimeWeighted
 from repro.machine.config import MachineConfig
+from repro.obs.timeseries import (
+    gauge,
+    size_hist,
+    utilisation_hist,
+    windowed_rate,
+)
 
 
 class ControlNode:
@@ -78,6 +84,23 @@ class ControlNode:
         """Fraction of time the CN CPU was busy since the last reset."""
         value = self.busy.time_average(self.env.now if now is None else now)
         return 0.0 if math.isnan(value) else value
+
+    def timeseries_probes(
+        self,
+    ) -> typing.Dict[str, typing.Dict[str, typing.Any]]:
+        """Per-window CN utilisation and instantaneous CPU queue depth."""
+        return {
+            "cn.util": {
+                "probe": windowed_rate(self.busy.integral),
+                "unit": "frac",
+                "hist": utilisation_hist(),
+            },
+            "cn.queue": {
+                "probe": gauge(lambda: self.cpu.queue_length),
+                "unit": "jobs",
+                "hist": size_hist(),
+            },
+        }
 
     def reset_statistics(self) -> None:
         """Restart utilisation averaging and cost accounting (warm-up)."""

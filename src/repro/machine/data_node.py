@@ -16,6 +16,7 @@ import typing
 
 from repro.des import Environment, Event
 from repro.des.monitor import TimeWeighted
+from repro.obs.profile import profiled
 
 #: tolerance when deciding a cohort has scanned all its objects
 _EPSILON = 1e-9
@@ -92,7 +93,10 @@ class DataProcessingNode:
         self._arrival: Event = env.event()
         self.busy = TimeWeighted(env.now, 0.0, name=f"dpn{node_id}.busy")
         self.queue = TimeWeighted(env.now, 0.0, name=f"dpn{node_id}.queue")
-        self._process = env.process(self._serve(), name=f"dpn-{node_id}")
+        serve = self._serve()
+        if env.profile.enabled:
+            serve = profiled(serve, env.profile, "machine.scan")
+        self._process = env.process(serve, name=f"dpn-{node_id}")
 
     # -- public interface ----------------------------------------------------
 

@@ -17,6 +17,12 @@ from repro.machine.config import MachineConfig
 from repro.machine.control_node import ControlNode
 from repro.machine.data_node import Cohort, DataProcessingNode
 from repro.machine.placement import DataPlacement
+from repro.obs.timeseries import (
+    gauge,
+    size_hist,
+    utilisation_hist,
+    windowed_rate,
+)
 
 
 class StepExecution:
@@ -106,6 +112,38 @@ class SharedNothingMachine:
         # home node -> CN: one message receive.
         yield from self.control_node.receive_message()
         return execution
+
+    def timeseries_probes(
+        self,
+    ) -> typing.Dict[str, typing.Dict[str, typing.Any]]:
+        """CN signals plus fleet-level DPN utilisation/queue trajectories."""
+        nodes = self.data_nodes
+        probes = self.control_node.timeseries_probes()
+        if not nodes:
+            return probes
+        probes["dpn.util.mean"] = {
+            "probe": windowed_rate(
+                lambda t: sum(node.busy.integral(t) for node in nodes),
+                scale=1.0 / len(nodes),
+            ),
+            "unit": "frac",
+            "hist": utilisation_hist(),
+        }
+        probes["dpn.queue.total"] = {
+            "probe": gauge(
+                lambda: sum(node.active_cohorts for node in nodes)
+            ),
+            "unit": "cohorts",
+            "hist": size_hist(),
+        }
+        probes["dpn.backlog.objects"] = {
+            "probe": gauge(
+                lambda: sum(node.backlog_objects for node in nodes)
+            ),
+            "unit": "objects",
+            "hist": size_hist(),
+        }
+        return probes
 
     def mean_dpn_utilisation(self) -> float:
         """Average utilisation across all data-processing nodes."""

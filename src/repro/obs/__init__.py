@@ -24,6 +24,12 @@ Public surface:
 - :mod:`repro.obs.export` -- JSONL, Chrome-trace (Perfetto) and text
   summary exporters.
 - :mod:`repro.obs.schema` -- the event schema and JSONL validator.
+- :mod:`repro.obs.timeseries` -- DES-clock time-series sampler with
+  ring-buffered series, histograms, CSV/JSON export and sparkline
+  reports.
+- :mod:`repro.obs.profile` -- wall-clock self-profiler attributing
+  simulator time to DES-heap, scheduler-decision, lock-manager and
+  machine-modelling phases.
 """
 
 from repro.obs.events import EVENT_KINDS, TraceEvent
@@ -39,20 +45,62 @@ from repro.obs.recorder import (
     NullRecorder,
     TraceRecorder,
 )
+from repro.obs.profile import (
+    NULL_PROFILER,
+    PHASES,
+    NullProfiler,
+    PhaseProfiler,
+    SimProfiler,
+    profiled,
+)
 from repro.obs.schema import TRACE_SCHEMA_VERSION, validate_event, validate_jsonl
+from repro.obs.timeseries import (
+    SERIES_SCHEMA_VERSION,
+    FixedHistogram,
+    LogHistogram,
+    Series,
+    TimeSeriesSampler,
+    gauge,
+    load_series_json,
+    render_series_report,
+    sparkline,
+    validate_series,
+    windowed_rate,
+    write_series_csv,
+    write_series_json,
+)
 
 __all__ = [
     "EVENT_KINDS",
+    "FixedHistogram",
+    "LogHistogram",
     "MemoryRecorder",
+    "NULL_PROFILER",
     "NULL_RECORDER",
+    "NullProfiler",
     "NullRecorder",
+    "PHASES",
+    "PhaseProfiler",
+    "SERIES_SCHEMA_VERSION",
+    "Series",
+    "SimProfiler",
     "TRACE_SCHEMA_VERSION",
+    "TimeSeriesSampler",
     "TraceEvent",
     "TraceRecorder",
+    "gauge",
+    "load_series_json",
+    "profiled",
+    "render_series_report",
     "render_summary",
+    "sparkline",
     "to_chrome_trace",
     "validate_event",
     "validate_jsonl",
+    "validate_series",
+    "windowed_rate",
     "write_chrome_trace",
     "write_jsonl",
+    "write_series_csv",
+    "write_series_json",
 ]

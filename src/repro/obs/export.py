@@ -52,16 +52,24 @@ def write_jsonl(
     events: typing.Iterable[TraceEvent],
     path: PathLike,
     meta: typing.Optional[typing.Mapping[str, typing.Any]] = None,
+    dropped: int = 0,
 ) -> pathlib.Path:
     """Write the stream as JSON Lines, returning the path written.
 
     ``meta`` (scheduler, seed, workload...) lands in the leading
-    ``trace.meta`` record beside the schema version.
+    ``trace.meta`` record beside the schema version.  Pass the
+    recorder's ``dropped`` count so a capped trace is self-describing:
+    the meta record then carries ``events_dropped`` and ``truncated``,
+    and downstream readers know the stream is a prefix, not the run.
     """
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    record = _meta_record(meta)
+    if dropped:
+        record["events_dropped"] = dropped
+        record["truncated"] = True
     with path.open("w", encoding="utf-8") as handle:
-        handle.write(json.dumps(_meta_record(meta), sort_keys=True) + "\n")
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
         for event in events:
             handle.write(json.dumps(event.to_record(), sort_keys=True) + "\n")
     return path
@@ -98,6 +106,7 @@ _TXN_INSTANTS = {
 def to_chrome_trace(
     events: typing.Sequence[TraceEvent],
     meta: typing.Optional[typing.Mapping[str, typing.Any]] = None,
+    dropped: int = 0,
 ) -> typing.Dict[str, typing.Any]:
     """Build the Chrome trace-event JSON object for the stream.
 
@@ -279,8 +288,13 @@ def to_chrome_trace(
         "traceEvents": trace,
         "displayTimeUnit": "ms",
     }
-    if meta:
-        payload["otherData"] = dict(meta)
+    if meta or dropped:
+        payload["otherData"] = dict(meta) if meta else {}
+    if dropped:
+        # flag truncation where Perfetto's info panel will show it, so a
+        # capped trace is never mistaken for the complete run
+        payload["otherData"]["events_dropped"] = dropped
+        payload["otherData"]["truncated"] = True
     return payload
 
 
@@ -288,11 +302,12 @@ def write_chrome_trace(
     events: typing.Sequence[TraceEvent],
     path: PathLike,
     meta: typing.Optional[typing.Mapping[str, typing.Any]] = None,
+    dropped: int = 0,
 ) -> pathlib.Path:
     """Serialise :func:`to_chrome_trace` to ``path`` (Perfetto-loadable)."""
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(to_chrome_trace(events, meta)))
+    path.write_text(json.dumps(to_chrome_trace(events, meta, dropped=dropped)))
     return path
 
 
@@ -329,9 +344,14 @@ def _restart_chains(
 
 
 def render_summary(
-    events: typing.Sequence[TraceEvent], top: int = 5
+    events: typing.Sequence[TraceEvent], top: int = 5, dropped: int = 0
 ) -> str:
-    """A terminal digest of the stream: what happened, and who blocked whom."""
+    """A terminal digest of the stream: what happened, and who blocked whom.
+
+    ``dropped`` is the recorder's dropped-event count; when non-zero the
+    digest leads with a warning, since every section below then reflects
+    only the retained prefix of the run.
+    """
     counts: typing.Dict[str, int] = {}
     blocker_counts: typing.Dict[int, int] = {}
     file_block_counts: typing.Dict[int, int] = {}
@@ -359,6 +379,13 @@ def render_summary(
     lines = [
         f"trace summary: {len(events)} events over {span_ms:g} ms "
         f"({commits} commits, {aborts} aborts)",
+    ]
+    if dropped:
+        lines.append(
+            f"  WARNING: {dropped} event(s) dropped at the recorder cap; "
+            "everything below reflects the retained prefix only"
+        )
+    lines += [
         "",
         "  events by kind:",
     ]

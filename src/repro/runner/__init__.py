@@ -28,7 +28,7 @@ from repro.runner.spec import (
     register_workload,
     workload_kinds,
 )
-from repro.runner.worker import execute_spec
+from repro.runner.worker import execute_bench, execute_spec
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
@@ -38,6 +38,7 @@ __all__ = [
     "RunSpec",
     "WorkloadSpec",
     "default_runner",
+    "execute_bench",
     "execute_spec",
     "print_progress",
     "register_workload",

@@ -32,8 +32,11 @@ import typing
 from repro.runner.cache import ResultCache
 from repro.runner.spec import RunSpec
 from repro.runner.worker import (
+    execute_bench,
+    execute_bench_indexed,
     execute_indexed,
     execute_spec,
+    series_artifact_path,
     trace_artifact_path,
 )
 from repro.sim.metrics import SimulationResult
@@ -114,6 +117,7 @@ class ParallelRunner:
             typing.Callable[[RunEvent], None]
         ] = print_progress,
         traces_dir: typing.Optional[typing.Union[str, pathlib.Path]] = None,
+        series_dir: typing.Optional[typing.Union[str, pathlib.Path]] = None,
     ) -> None:
         if pool_size is not None and pool_size < 1:
             raise ValueError(f"pool_size must be >= 1, got {pool_size}")
@@ -122,6 +126,9 @@ class ParallelRunner:
         self.runs_dir = pathlib.Path(runs_dir) if runs_dir is not None else None
         self.traces_dir = (
             pathlib.Path(traces_dir) if traces_dir is not None else None
+        )
+        self.series_dir = (
+            pathlib.Path(series_dir) if series_dir is not None else None
         )
         self.progress = progress
         #: cumulative counters across all batches of this runner
@@ -196,6 +203,65 @@ class ParallelRunner:
         self._write_manifest(label, specs, keys, cached_flags, wall_s)
         return typing.cast(typing.List[SimulationResult], results)
 
+    def run_bench(
+        self,
+        specs: typing.Sequence[RunSpec],
+        label: str = "bench",
+        repeats: int = 1,
+    ) -> typing.List[typing.Dict[str, typing.Any]]:
+        """Execute ``specs`` as perf measurements, in input order.
+
+        Deliberately bypasses the result cache and coalescing: every
+        spec is simulated afresh (a cache hit takes no wall time and
+        would report infinite speed).  Rows come from
+        :func:`~repro.runner.worker.execute_bench` (best of
+        ``repeats``).
+        """
+        specs = list(specs)
+        started = time.time()
+        rows: typing.List[typing.Optional[typing.Dict[str, typing.Any]]] = (
+            [None] * len(specs)
+        )
+        self._emit(RunEvent("batch-start", label, 0, len(specs)))
+        done = 0
+        workers = min(self.pool_size, len(specs)) if specs else 0
+        if workers <= 1:
+            for index, spec in enumerate(specs):
+                run_started = time.time()
+                rows[index] = execute_bench(spec, repeats=repeats)
+                done += 1
+                self._emit(RunEvent(
+                    "run-done", label, done, len(specs), spec=spec,
+                    elapsed_s=time.time() - run_started,
+                ))
+        else:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        execute_bench_indexed, (index, spec, repeats)
+                    )
+                    for index, spec in enumerate(specs)
+                ]
+                for future in concurrent.futures.as_completed(futures):
+                    index, row = future.result()
+                    rows[index] = row
+                    done += 1
+                    self._emit(RunEvent(
+                        "run-done", label, done, len(specs),
+                        spec=specs[index],
+                        elapsed_s=time.time() - started,
+                    ))
+        wall_s = time.time() - started
+        self.runs_completed += len(specs)
+        self._emit(
+            RunEvent("batch-done", label, done, len(specs), elapsed_s=wall_s)
+        )
+        return typing.cast(
+            typing.List[typing.Dict[str, typing.Any]], rows
+        )
+
     # -- execution ----------------------------------------------------------
 
     def _execute(
@@ -210,12 +276,19 @@ class ParallelRunner:
         ):
             self.traces_dir.mkdir(parents=True, exist_ok=True)
             traces_dir = str(self.traces_dir)
+        series_dir: typing.Optional[str] = None
+        if self.series_dir is not None and any(
+            specs[index].timeseries for index in pending
+        ):
+            self.series_dir.mkdir(parents=True, exist_ok=True)
+            series_dir = str(self.series_dir)
         workers = min(self.pool_size, len(pending))
         if workers == 1:
             for index in pending:
                 run_started = time.time()
                 yield index, execute_spec(
-                    specs[index], traces_dir=traces_dir
+                    specs[index], traces_dir=traces_dir,
+                    series_dir=series_dir,
                 ), (time.time() - run_started)
             return
         batch_started = time.time()
@@ -224,7 +297,8 @@ class ParallelRunner:
         ) as pool:
             futures = [
                 pool.submit(
-                    execute_indexed, (index, specs[index], traces_dir)
+                    execute_indexed,
+                    (index, specs[index], traces_dir, series_dir),
                 )
                 for index in pending
             ]
@@ -268,6 +342,7 @@ class ParallelRunner:
                     "cached": cached,
                     "spec": spec.to_dict(),
                     "trace_artifact": self._trace_artifact(spec),
+                    "series_artifact": self._series_artifact(spec),
                 }
                 for spec, key, cached in zip(specs, keys, cached_flags)
             ],
@@ -295,6 +370,13 @@ class ParallelRunner:
         path = trace_artifact_path(self.traces_dir, spec)
         return str(path) if path.exists() else None
 
+    def _series_artifact(self, spec: RunSpec) -> typing.Optional[str]:
+        """Manifest entry for a run's series file (None when unsampled)."""
+        if not spec.timeseries or self.series_dir is None:
+            return None
+        path = series_artifact_path(self.series_dir, spec)
+        return str(path) if path.exists() else None
+
     def _emit(self, event: RunEvent) -> None:
         if self.progress is not None:
             self.progress(event)
@@ -314,6 +396,9 @@ def default_runner(
     traces_dir: typing.Optional[typing.Union[str, pathlib.Path]] = (
         "results/traces"
     ),
+    series_dir: typing.Optional[typing.Union[str, pathlib.Path]] = (
+        "results/series"
+    ),
 ) -> ParallelRunner:
     """A runner with the conventional on-disk layout under ``results/``."""
     cache = ResultCache(cache_dir) if cache_dir is not None else None
@@ -323,4 +408,5 @@ def default_runner(
         runs_dir=runs_dir,
         progress=progress,
         traces_dir=traces_dir,
+        series_dir=series_dir,
     )

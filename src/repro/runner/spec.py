@@ -31,8 +31,9 @@ from repro.txn.workload import (
 
 #: bump when run semantics change so stale cache entries never resurface
 #: (v2: specs carry the ``trace`` flag, so traced and untraced runs hash
-#: to different keys and never collide in the cache)
-CACHE_FORMAT_VERSION = 2
+#: to different keys and never collide in the cache; v3: specs carry the
+#: ``timeseries`` flag and results the ``p95_exact`` field)
+CACHE_FORMAT_VERSION = 3
 
 WorkloadBuilder = typing.Callable[..., Workload]
 
@@ -124,6 +125,10 @@ class RunSpec:
     #: part of the cache key -- tracing never changes results, but the
     #: artifact's existence is itself an output of the run
     trace: bool = False
+    #: capture a per-run time-series artifact (sampled trajectories via
+    #: :class:`~repro.obs.timeseries.TimeSeriesSampler`); same contract
+    #: as ``trace`` -- observation only, but part of the cache key
+    timeseries: bool = False
 
     def to_dict(self) -> typing.Dict[str, typing.Any]:
         return {
@@ -134,6 +139,7 @@ class RunSpec:
             "duration_ms": self.duration_ms,
             "warmup_ms": self.warmup_ms,
             "trace": self.trace,
+            "timeseries": self.timeseries,
         }
 
     @classmethod
@@ -146,6 +152,7 @@ class RunSpec:
             duration_ms=float(payload["duration_ms"]),
             warmup_ms=float(payload["warmup_ms"]),
             trace=bool(payload.get("trace", False)),
+            timeseries=bool(payload.get("timeseries", False)),
         )
 
     def cache_key(self) -> str:
@@ -163,6 +170,8 @@ class RunSpec:
             extras.append(f"mpl={self.config.mpl}")
         if self.trace:
             extras.append("trace")
+        if self.timeseries:
+            extras.append("ts")
         suffix = f" [{' '.join(extras)}]" if extras else ""
         return (
             f"{self.scheduler} on {self.workload.kind}"

@@ -5,21 +5,36 @@ it by reference under any start method (fork and spawn alike).
 
 Traced specs (``spec.trace``) run with a :class:`MemoryRecorder` and
 write their event stream to ``<traces_dir>/<cache_key>.trace.jsonl``
-before returning.  The artifact is content-addressed by the spec's
-cache key, so re-running the same traced spec overwrites the identical
-file and a batch manifest can reference it without coordination.
+before returning; time-series specs (``spec.timeseries``) run with a
+:class:`TimeSeriesSampler` and write the sampled trajectories to
+``<series_dir>/<cache_key>.series.json``.  Both artifacts are
+content-addressed by the spec's cache key, so re-running the same spec
+overwrites the identical file and a batch manifest can reference it
+without coordination.
+
+:func:`execute_bench` is the perf-measurement variant used by ``repro
+bench``: it runs the spec with the wall-clock self-profiler attached
+and returns simulator speed (events/second, wall per simulated second)
+plus the per-phase breakdown instead of a cached model result.
 """
 
 from __future__ import annotations
 
 import pathlib
+import time
 import typing
 
 from repro.obs.export import write_jsonl
+from repro.obs.profile import PhaseProfiler
 from repro.obs.recorder import MemoryRecorder
+from repro.obs.timeseries import TimeSeriesSampler, write_series_json
 from repro.runner.spec import RunSpec
 from repro.sim.metrics import SimulationResult
-from repro.sim.simulation import run_simulation
+from repro.sim.simulation import Simulation
+
+#: sample interval of runner-produced series artifacts (simulated ms);
+#: fixed so equal specs always produce identical artifacts
+SERIES_INTERVAL_MS = 1_000.0
 
 
 def trace_artifact_path(
@@ -29,45 +44,134 @@ def trace_artifact_path(
     return pathlib.Path(traces_dir) / f"{spec.cache_key()}.trace.jsonl"
 
 
+def series_artifact_path(
+    series_dir: typing.Union[str, pathlib.Path], spec: RunSpec
+) -> pathlib.Path:
+    """Where a sampled spec's series artifact lives (content-addressed)."""
+    return pathlib.Path(series_dir) / f"{spec.cache_key()}.series.json"
+
+
+def _spec_meta(spec: RunSpec) -> typing.Dict[str, typing.Any]:
+    return {
+        "scheduler": spec.scheduler,
+        "workload": spec.workload.kind,
+        "rate_tps": spec.workload.rate_tps,
+        "seed": spec.seed,
+        "duration_ms": spec.duration_ms,
+    }
+
+
 def execute_spec(
     spec: RunSpec,
     traces_dir: typing.Optional[typing.Union[str, pathlib.Path]] = None,
+    series_dir: typing.Optional[typing.Union[str, pathlib.Path]] = None,
 ) -> SimulationResult:
     """Run the simulation a spec describes; pure given the spec.
 
-    Tracing observes without perturbing, so the returned result is
-    byte-identical whether or not ``spec.trace`` is set; only the
-    artifact on disk differs.
+    Tracing and sampling observe without perturbing, so the returned
+    result is byte-identical whatever combination of ``spec.trace`` /
+    ``spec.timeseries`` is set; only the artifacts on disk differ.
     """
     recorder = MemoryRecorder() if spec.trace else None
-    result = run_simulation(
-        spec.scheduler,
-        spec.workload.build(),
+    sampler = (
+        TimeSeriesSampler(interval_ms=SERIES_INTERVAL_MS)
+        if spec.timeseries
+        else None
+    )
+    result = Simulation(
         spec.config,
+        spec.workload.build(),
+        scheduler=spec.scheduler,
         seed=spec.seed,
         duration_ms=spec.duration_ms,
         warmup_ms=spec.warmup_ms,
         recorder=recorder,
-    )
+        sampler=sampler,
+    ).run()
     if recorder is not None and traces_dir is not None:
         write_jsonl(
-            recorder.events,
-            trace_artifact_path(traces_dir, spec),
-            meta={
-                "scheduler": spec.scheduler,
-                "workload": spec.workload.kind,
-                "rate_tps": spec.workload.rate_tps,
-                "seed": spec.seed,
-                "duration_ms": spec.duration_ms,
-                "events_dropped": recorder.dropped,
-            },
+            recorder.events, trace_artifact_path(traces_dir, spec),
+            meta=_spec_meta(spec), dropped=recorder.dropped,
+        )
+    if sampler is not None and series_dir is not None:
+        write_series_json(
+            sampler, series_artifact_path(series_dir, spec),
+            meta=_spec_meta(spec),
         )
     return result
 
 
 def execute_indexed(
-    job: typing.Tuple[int, RunSpec, typing.Optional[str]],
+    job: typing.Tuple[
+        int, RunSpec, typing.Optional[str], typing.Optional[str]
+    ],
 ) -> typing.Tuple[int, SimulationResult]:
     """Pool-friendly wrapper carrying the batch index through the pool."""
-    index, spec, traces_dir = job
-    return index, execute_spec(spec, traces_dir=traces_dir)
+    index, spec, traces_dir, series_dir = job
+    return index, execute_spec(
+        spec, traces_dir=traces_dir, series_dir=series_dir
+    )
+
+
+def execute_bench(
+    spec: RunSpec, repeats: int = 1
+) -> typing.Dict[str, typing.Any]:
+    """Run ``spec`` as a perf measurement: speed + phase breakdown.
+
+    Never consults or populates the result cache -- a cached run takes
+    ~0 wall seconds and would make every speed number meaningless.
+    With ``repeats > 1`` the cell is simulated that many times and the
+    *fastest* repetition reported (the standard noise filter: the
+    minimum is the run least disturbed by the host).  The model-level
+    outcome (commits, throughput) is included so a bench row can be
+    sanity-checked against the equivalent sweep result.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best: typing.Optional[typing.Dict[str, typing.Any]] = None
+    for _ in range(repeats):
+        profiler = PhaseProfiler()
+        simulation = Simulation(
+            spec.config,
+            spec.workload.build(),
+            scheduler=spec.scheduler,
+            seed=spec.seed,
+            duration_ms=spec.duration_ms,
+            warmup_ms=spec.warmup_ms,
+            profiler=profiler,
+        )
+        started = time.perf_counter()
+        result = simulation.run()
+        wall_s = time.perf_counter() - started
+        if best is not None and wall_s >= best["wall_s"]:
+            continue
+        events = simulation.env.events_processed
+        sim_s = spec.duration_ms / 1_000.0
+        best = {
+            "scheduler": spec.scheduler,
+            "workload": spec.workload.to_dict(),
+            "dd": spec.config.dd,
+            "seed": spec.seed,
+            "duration_ms": spec.duration_ms,
+            "warmup_ms": spec.warmup_ms,
+            "repeats": repeats,
+            "wall_s": round(wall_s, 6),
+            "events": events,
+            "events_per_s": (
+                round(events / wall_s, 3) if wall_s > 0 else None
+            ),
+            "wall_per_sim_s": round(wall_s / sim_s, 9),
+            "profile": profiler.report(total_s=wall_s),
+            "completed": result.completed,
+            "throughput_tps": result.throughput_tps,
+        }
+    assert best is not None
+    return best
+
+
+def execute_bench_indexed(
+    job: typing.Tuple[int, RunSpec, int],
+) -> typing.Tuple[int, typing.Dict[str, typing.Any]]:
+    """Pool-friendly wrapper for :func:`execute_bench`."""
+    index, spec, repeats = job
+    return index, execute_bench(spec, repeats=repeats)

@@ -34,6 +34,11 @@ class SimulationResult:
     delays: int
     in_flight_at_end: int
     seed: int
+    #: True while percentiles come from the exact sample set; False once
+    #: the response-time tally degraded to reservoir sampling, making
+    #: ``p95_response_ms`` an unbiased estimate rather than an exact
+    #: order statistic
+    p95_exact: bool = True
     #: per-workload-class (label) metrics: label -> (count, mean RT ms)
     label_metrics: typing.Dict[str, typing.Tuple[int, float]] = (
         dataclasses.field(default_factory=dict)

@@ -27,7 +27,9 @@ from repro.des import Environment, RandomStreams
 from repro.des.monitor import TimeWeighted
 from repro.machine.config import MachineConfig
 from repro.machine.machine import SharedNothingMachine
+from repro.obs.profile import SimProfiler, profiled
 from repro.obs.recorder import NULL_RECORDER, TraceRecorder
+from repro.obs.timeseries import TimeSeriesSampler, gauge, windowed_rate
 from repro.sim.metrics import MetricsCollector, SimulationResult
 from repro.txn.transaction import BatchTransaction
 from repro.txn.workload import Workload
@@ -52,6 +54,8 @@ class Simulation:
         scheduler_factory: typing.Optional[SchedulerFactory] = None,
         max_arrivals: typing.Optional[int] = None,
         recorder: typing.Optional[TraceRecorder] = None,
+        sampler: typing.Optional[TimeSeriesSampler] = None,
+        profiler: typing.Optional[SimProfiler] = None,
     ) -> None:
         if duration_ms <= 0:
             raise ValueError(f"duration must be > 0, got {duration_ms}")
@@ -73,6 +77,11 @@ class Simulation:
         #: and scheduler are built so every component caches the real one
         self.trace = recorder if recorder is not None else NULL_RECORDER
         self.env.trace = self.trace
+        #: wall-clock self-profiler, same install-before-build contract
+        self.profiler = profiler
+        if profiler is not None:
+            self.env.profile = profiler
+        self.sampler = sampler
         self.streams = RandomStreams(seed)
         self.machine = SharedNothingMachine(self.env, config)
         if scheduler_factory is not None:
@@ -87,6 +96,40 @@ class Simulation:
         self.metrics = MetricsCollector()
         self.in_flight = TimeWeighted(self.env.now, 0.0, "in-flight")
         self._next_restart_id = 10_000_000  # ids for restarted attempts
+        if sampler is not None:
+            self._register_probes(sampler)
+            self.env.sampler = sampler
+
+    def _register_probes(self, sampler: TimeSeriesSampler) -> None:
+        """Wire the machine/scheduler/run-level series catalogue.
+
+        Probes read state only: attaching a sampler never changes what a
+        run computes (the determinism tests assert byte-identical
+        results for every scheduler).
+        """
+        sampler.add_probes(self.machine.timeseries_probes())
+        sampler.add_probes(self.scheduler.timeseries_probes())
+        sampler.add_probes({
+            "txn.in_flight": {
+                "probe": gauge(lambda: self.in_flight.value),
+                "unit": "txn",
+            },
+            "txn.commits.cum": {
+                "probe": gauge(lambda: self.metrics.commits),
+                "unit": "txn",
+            },
+            "txn.restarts.cum": {
+                "probe": gauge(lambda: self.metrics.restarts),
+                "unit": "txn",
+            },
+            "txn.commit_rate": {
+                # commits per simulated second within each window
+                "probe": windowed_rate(
+                    lambda _t: float(self.metrics.commits), scale=1_000.0
+                ),
+                "unit": "tps",
+            },
+        })
 
     # -- public API --------------------------------------------------------------
 
@@ -127,7 +170,7 @@ class Simulation:
         attempt = txn
         while True:
             yield from scheduler.admit(attempt)
-            yield from cn.consume(self.config.sot_time_ms, "startup")
+            yield from self._cn_slice(self.config.sot_time_ms, "startup")
 
             try:
                 while not attempt.finished_all_steps:
@@ -157,7 +200,7 @@ class Simulation:
                 attempt = restarted
                 continue
 
-            yield from cn.consume(self.config.cot_time_ms, "commit")
+            yield from self._cn_slice(self.config.cot_time_ms, "commit")
             if scheduler.validate_at_commit(attempt):
                 yield from scheduler.commit(attempt)
                 if self.auditor is not None:
@@ -179,6 +222,21 @@ class Simulation:
                 )
             attempt = restarted
 
+    def _cn_slice(self, cost_ms: float, category: str) -> typing.Generator:
+        """One CN CPU slice, self-profiled as machine.cn when enabled."""
+        work = self.machine.control_node.consume(cost_ms, category)
+        if self.env.profile.enabled:
+            yield from profiled(work, self.env.profile, "machine.cn")
+        else:
+            yield from work
+
+    def _message(self, work: typing.Generator) -> typing.Generator:
+        """A CN message send/receive, profiled as machine.msg."""
+        if self.env.profile.enabled:
+            yield from profiled(work, self.env.profile, "machine.msg")
+        else:
+            yield from work
+
     def _run_step(self, txn: BatchTransaction) -> typing.Generator:
         """The machine-level scan of the current step (Section 4.1)."""
         step = txn.current_step
@@ -193,13 +251,13 @@ class Simulation:
         )
         txn.current_execution = execution
         cn = self.machine.control_node
-        yield from cn.send_message()
+        yield from self._message(cn.send_message())
         done = [
             self.machine.data_nodes[c.node_id].submit(c)
             for c in execution.cohorts
         ]
         yield self.env.all_of(done)
-        yield from cn.receive_message()
+        yield from self._message(cn.receive_message())
         if self.trace.enabled:
             self.trace.emit(
                 self.env.now, "txn.step_end", txn=txn.txn_id,
@@ -232,6 +290,7 @@ class Simulation:
             delays=self.scheduler.stats.delays.total,
             in_flight_at_end=int(self.in_flight.value),
             seed=self.seed,
+            p95_exact=tally.is_exact,
             label_metrics=self.metrics.label_summary(),
         )
 

@@ -212,3 +212,45 @@ class TestCounter:
         c.increment()
         assert "commits" in repr(c)
         assert "1" in repr(c)
+
+
+class TestTallyIsExact:
+    def test_uncapped_is_always_exact(self):
+        t = Tally().keep_samples(cap=None)
+        for v in range(5_000):
+            t.observe(float(v))
+        assert t.is_exact
+
+    def test_exact_until_the_cap_then_estimated(self):
+        t = Tally().keep_samples(cap=10)
+        for v in range(10):
+            t.observe(float(v))
+        assert t.is_exact
+        t.observe(10.0)
+        assert not t.is_exact
+
+    def test_reset_restores_exactness(self):
+        t = Tally().keep_samples(cap=4)
+        for v in range(100):
+            t.observe(float(v))
+        assert not t.is_exact
+        t.reset()
+        assert t.is_exact
+
+
+class TestTimeWeightedIntegral:
+    def test_piecewise_constant_area(self):
+        w = TimeWeighted(now=0.0, value=2.0)  # level 2 on [0, 10)
+        w.update(10.0, 4.0)                   # level 4 on [10, ...)
+        assert w.integral(10.0) == pytest.approx(20.0)
+        assert w.integral(15.0) == pytest.approx(40.0)
+
+    def test_current_level_extends_past_last_update(self):
+        w = TimeWeighted(now=0.0, value=3.0)
+        assert w.integral(7.0) == pytest.approx(21.0)
+
+    def test_integral_consistent_with_time_average(self):
+        w = TimeWeighted(now=0.0, value=1.0)
+        w.update(4.0, 5.0)
+        now = 8.0
+        assert w.time_average(now) == pytest.approx(w.integral(now) / now)

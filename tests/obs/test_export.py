@@ -3,7 +3,9 @@
 import json
 
 from repro.obs import MemoryRecorder, render_summary, to_chrome_trace
+from repro.obs.events import EVENT_KINDS
 from repro.obs.export import read_jsonl, write_chrome_trace, write_jsonl
+from repro.obs.schema import TRACE_SCHEMA_VERSION, validate_jsonl
 
 
 def _lifecycle_recorder():
@@ -99,3 +101,97 @@ class TestSummary:
         text = render_summary([])
         assert "0 events" in text
         assert "no blocking observed" in text
+
+
+def _one_event_of_every_kind():
+    """A synthetic stream containing one record of every schema kind."""
+    sample_fields = {
+        "txn": 1, "new_txn": 2, "label": "B1", "file": 3, "mode": "SHARED",
+        "wait_ms": 4.0, "holders": [9], "step": 0, "cost": 2.0,
+        "reason": "deadlock", "response_ms": 10.0, "src": 1, "dst": 2,
+        "ok": True, "consistent": True, "e_q": 0.5, "granted": True,
+        "deadlock": False, "node": 0, "depth": 2, "category": "startup",
+        "cost_ms": 1.5, "name": "cn.cpu", "schema": TRACE_SCHEMA_VERSION,
+    }
+    rec = MemoryRecorder()
+    for t, kind in enumerate(sorted(EVENT_KINDS)):
+        if kind == "trace.meta":
+            continue  # written by the exporter, never emitted
+        fields = {f: sample_fields[f] for f in EVENT_KINDS[kind]}
+        rec.emit(float(t), kind, **fields)
+    return rec
+
+
+class TestEveryKind:
+    """Exporters must accept the full event vocabulary, not just the
+    kinds the curated lifecycle fixture happens to emit."""
+
+    def test_stream_covers_every_kind(self):
+        rec = _one_event_of_every_kind()
+        assert {e.kind for e in rec.events} == set(EVENT_KINDS) - {"trace.meta"}
+
+    def test_jsonl_round_trip_validates_every_kind(self, tmp_path):
+        rec = _one_event_of_every_kind()
+        path = write_jsonl(rec.events, tmp_path / "all.jsonl")
+        assert validate_jsonl(path) == len(rec.events) + 1
+        records = read_jsonl(path)
+        assert {r["kind"] for r in records} == set(EVENT_KINDS)
+
+    def test_chrome_trace_round_trip_every_kind(self, tmp_path):
+        rec = _one_event_of_every_kind()
+        path = write_chrome_trace(rec.events, tmp_path / "all.json")
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert events, "no Chrome records produced"
+        # every record is well-formed Chrome trace JSON
+        for record in events:
+            assert "ph" in record and "pid" in record
+            if record["ph"] in ("X", "i", "C"):
+                assert record["ts"] >= 0.0
+        # the instants the exporter maps must all appear
+        names = {e["name"] for e in events}
+        assert {"arrive", "blocked", "delayed", "restart",
+                "admit rejected"} <= names
+        # counter tracks from both node.queue and res.queue
+        counters = {e["name"] for e in events if e["ph"] == "C"}
+        assert {"dpn0 queue", "cn.cpu queue"} <= counters
+
+    def test_summary_accepts_every_kind(self):
+        text = render_summary(_one_event_of_every_kind().events)
+        assert "events by kind" in text
+
+
+class TestDroppedWarnings:
+    """A capped recorder's dropped count must surface in every exporter."""
+
+    def test_jsonl_meta_flags_truncation(self, tmp_path):
+        rec = _lifecycle_recorder()
+        path = write_jsonl(rec.events, tmp_path / "t.jsonl", dropped=7)
+        meta = read_jsonl(path)[0]
+        assert meta["events_dropped"] == 7
+        assert meta["truncated"] is True
+
+    def test_jsonl_meta_clean_when_nothing_dropped(self, tmp_path):
+        rec = _lifecycle_recorder()
+        path = write_jsonl(rec.events, tmp_path / "t.jsonl")
+        meta = read_jsonl(path)[0]
+        assert "truncated" not in meta
+
+    def test_chrome_other_data_flags_truncation(self):
+        rec = _lifecycle_recorder()
+        payload = to_chrome_trace(rec.events, dropped=3)
+        assert payload["otherData"]["events_dropped"] == 3
+        assert payload["otherData"]["truncated"] is True
+
+    def test_chrome_merges_meta_and_drop_flag(self):
+        payload = to_chrome_trace([], meta={"scheduler": "LOW"}, dropped=1)
+        assert payload["otherData"]["scheduler"] == "LOW"
+        assert payload["otherData"]["truncated"] is True
+
+    def test_summary_warns_on_drop(self):
+        text = render_summary(_lifecycle_recorder().events, dropped=12)
+        assert "WARNING" in text and "12" in text
+
+    def test_summary_silent_without_drop(self):
+        text = render_summary(_lifecycle_recorder().events)
+        assert "WARNING" not in text

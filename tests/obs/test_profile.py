@@ -1,0 +1,135 @@
+"""Unit tests for the wall-clock self-profiler and generator wrapper."""
+
+import pytest
+
+from repro.obs.profile import (
+    NULL_PROFILER,
+    PHASES,
+    NullProfiler,
+    PhaseProfiler,
+    profiled,
+)
+
+
+class TestNullProfiler:
+    def test_disabled_and_noop(self):
+        assert NULL_PROFILER.enabled is False
+        NULL_PROFILER.push("des.heap")
+        NULL_PROFILER.pop()
+
+    def test_shared_instance(self):
+        assert isinstance(NULL_PROFILER, NullProfiler)
+
+
+class TestPhaseProfiler:
+    def test_push_pop_accumulates(self):
+        profiler = PhaseProfiler()
+        profiler.push("des.heap")
+        profiler.pop()
+        assert profiler.calls["des.heap"] == 1
+        assert profiler.seconds["des.heap"] >= 0.0
+        assert not profiler._stack
+
+    def test_nested_attribution_is_exclusive(self):
+        # time inside the inner phase must not double-count to the outer
+        profiler = PhaseProfiler()
+        profiler.push("sched.decision")
+        profiler.push("lock.manager")
+        busy = sum(i for i in range(20_000))  # measurable inner work
+        profiler.pop()
+        profiler.pop()
+        assert busy > 0
+        total = sum(profiler.seconds.values())
+        inner = profiler.seconds["lock.manager"]
+        outer = profiler.seconds["sched.decision"]
+        # exclusive: outer only owns its own (tiny) segments
+        assert inner > 0.0
+        assert outer < total
+
+    def test_report_includes_all_phases_and_other(self):
+        profiler = PhaseProfiler()
+        profiler.push("machine.cn")
+        profiler.pop()
+        report = profiler.report(total_s=1.0)
+        for phase in PHASES:
+            assert phase in report["phases"]
+        assert report["total_s"] == 1.0
+        assert 0.0 <= report["other_s"] <= 1.0
+
+    def test_reset(self):
+        profiler = PhaseProfiler()
+        profiler.push("des.heap")
+        profiler.pop()
+        profiler.reset()
+        assert profiler.seconds == {} and profiler.calls == {}
+
+
+class TestProfiledWrapper:
+    def test_relays_yields_sends_and_return_value(self):
+        def gen():
+            got = yield "a"
+            assert got == 1
+            yield "b"
+            return "done"
+
+        profiler = PhaseProfiler()
+        wrapped = profiled(gen(), profiler, "sched.decision")
+        assert next(wrapped) == "a"
+        assert wrapped.send(1) == "b"
+        with pytest.raises(StopIteration) as stop:
+            next(wrapped)
+        assert stop.value.value == "done"
+        assert profiler.calls["sched.decision"] == 3
+        assert not profiler._stack  # balanced even across StopIteration
+
+    def test_relays_thrown_exceptions(self):
+        caught = []
+
+        def gen():
+            try:
+                yield "x"
+            except KeyError as exc:
+                caught.append(exc)
+                yield "recovered"
+
+        wrapped = profiled(gen(), PhaseProfiler(), "sched.decision")
+        assert next(wrapped) == "x"
+        assert wrapped.throw(KeyError("boom")) == "recovered"
+        assert len(caught) == 1
+
+    def test_propagates_inner_exception(self):
+        def gen():
+            yield "x"
+            raise RuntimeError("inner")
+
+        profiler = PhaseProfiler()
+        wrapped = profiled(gen(), profiler, "machine.scan")
+        next(wrapped)
+        with pytest.raises(RuntimeError, match="inner"):
+            next(wrapped)
+        assert not profiler._stack  # pop ran despite the exception
+
+    def test_close_propagates_to_inner_generator(self):
+        closed = []
+
+        def gen():
+            try:
+                yield "x"
+            finally:
+                closed.append(True)
+
+        wrapped = profiled(gen(), PhaseProfiler(), "machine.scan")
+        next(wrapped)
+        wrapped.close()
+        assert closed == [True]
+
+    def test_works_with_null_profiler(self):
+        def gen():
+            yield 1
+            return 2
+
+        wrapped = profiled(gen(), NULL_PROFILER, "des.heap")
+        assert next(wrapped) == 1
+        with pytest.raises(StopIteration) as stop:
+            next(wrapped)
+        assert stop.value.value == 2

@@ -1,0 +1,254 @@
+"""Bench pipeline: pinned matrix, row schema, compare/regression logic."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_MATRIX,
+    BENCH_SCHEMA_VERSION,
+    bench_payload,
+    bench_specs,
+    compare_bench,
+    default_bench_path,
+    host_info,
+    load_bench_json,
+    render_bench_report,
+    render_compare_report,
+    validate_bench,
+    write_bench_json,
+)
+from repro.runner import ParallelRunner
+from repro.runner.worker import execute_bench
+
+QUICK_MS = 20_000.0
+
+
+def quick_specs(n=2):
+    return bench_specs(duration_ms=QUICK_MS)[:n]
+
+
+def quick_payload(n=2, repeats=1):
+    rows = [execute_bench(s, repeats=repeats) for s in quick_specs(n)]
+    return bench_payload(rows, git_sha="deadbeef")
+
+
+class TestBenchSpecs:
+    def test_matrix_shape(self):
+        specs = bench_specs()
+        assert len(specs) == len(BENCH_MATRIX)
+        cells = {(s.scheduler, s.workload.rate_tps, s.config.dd) for s in specs}
+        assert cells == set(BENCH_MATRIX)
+
+    def test_specs_are_deterministic_and_uncached_flavour(self):
+        first, second = bench_specs(), bench_specs()
+        assert [s.cache_key() for s in first] == [s.cache_key() for s in second]
+        for s in first:
+            assert s.warmup_ms == 0.0
+            assert s.trace is False and s.timeseries is False
+
+    def test_duration_override(self):
+        for s in bench_specs(duration_ms=QUICK_MS):
+            assert s.duration_ms == QUICK_MS
+
+
+class TestExecuteBench:
+    def test_row_fields_and_plausibility(self):
+        row = execute_bench(quick_specs(1)[0], repeats=1)
+        assert row["events"] > 0
+        assert row["wall_s"] > 0.0
+        assert row["events_per_s"] == pytest.approx(
+            row["events"] / row["wall_s"], rel=1e-3
+        )
+        assert row["wall_per_sim_s"] == pytest.approx(
+            row["wall_s"] / (QUICK_MS / 1_000.0), rel=1e-3
+        )
+        assert row["completed"] > 0
+        phases = row["profile"]["phases"]
+        assert phases["des.heap"]["calls"] > 0
+
+    def test_repeats_keep_fastest(self):
+        row = execute_bench(quick_specs(1)[0], repeats=2)
+        assert row["repeats"] == 2
+
+    def test_rejects_nonpositive_repeats(self):
+        with pytest.raises(ValueError):
+            execute_bench(quick_specs(1)[0], repeats=0)
+
+
+class TestBenchPayload:
+    def test_payload_validates_and_round_trips(self, tmp_path):
+        payload = quick_payload()
+        validate_bench(payload)
+        assert payload["bench_schema_version"] == BENCH_SCHEMA_VERSION
+        assert payload["git_sha"] == "deadbeef"
+        assert payload["host"] == host_info()
+        path = write_bench_json(payload, tmp_path / "BENCH_test.json")
+        assert load_bench_json(path) == json.loads(json.dumps(payload))
+
+    def test_validate_rejects_wrong_schema(self):
+        payload = quick_payload(n=1)
+        payload["bench_schema_version"] = 999
+        with pytest.raises(ValueError):
+            validate_bench(payload)
+
+    def test_validate_rejects_missing_row_fields(self):
+        payload = quick_payload(n=1)
+        del payload["runs"][0]["events_per_s"]
+        with pytest.raises(ValueError):
+            validate_bench(payload)
+
+    def test_default_path_is_dated(self, tmp_path):
+        path = default_bench_path(tmp_path, created="2026-08-06T12:00:00")
+        assert path.name == "BENCH_2026-08-06.json"
+
+
+def synthetic_payload(n_cells, events_per_s=100_000.0):
+    """A hand-built artifact with ``n_cells`` distinct matrix cells."""
+    rows = []
+    for i in range(n_cells):
+        events = int(events_per_s)
+        rows.append({
+            "scheduler": f"S{i}", "workload": {"kind": "exp1",
+                                               "rate_tps": 1.0},
+            "dd": 1, "seed": 0, "duration_ms": 1_000.0, "warmup_ms": 0.0,
+            "repeats": 1, "wall_s": events / events_per_s,
+            "events": events, "events_per_s": events_per_s,
+            "wall_per_sim_s": 1.0,
+            "profile": {"phases": {}, "total_s": 1.0, "other_s": 1.0},
+            "completed": 1, "throughput_tps": 1.0,
+        })
+    payload = bench_payload(rows, git_sha=None)
+    validate_bench(payload)
+    return payload
+
+
+def slow_down(payload, indices, factor=0.5):
+    """Return a copy where the given cells ran ``factor`` times as fast."""
+    slowed = copy.deepcopy(payload)
+    for i in indices:
+        row = slowed["runs"][i]
+        row["wall_s"] /= factor
+        row["events_per_s"] *= factor
+        row["wall_per_sim_s"] /= factor
+    return slowed
+
+
+class TestCompare:
+    def test_self_compare_is_clean(self):
+        payload = quick_payload()
+        report = compare_bench(payload, payload)
+        assert report["regressions"] == 0
+        assert report["failed"] is False
+        assert all(c["status"] == "ok" for c in report["cells"])
+        assert report["host_mismatch"] == []
+        assert report["aggregate"]["ratio"] == pytest.approx(1.0)
+
+    def test_flags_injected_regression(self):
+        baseline = quick_payload()
+        current = copy.deepcopy(baseline)
+        # simulate the first cell running at half speed
+        current["runs"][0]["events_per_s"] *= 0.5
+        report = compare_bench(baseline, current, tolerance=0.25)
+        assert report["regressions"] == 1
+        statuses = [c["status"] for c in report["cells"]]
+        assert statuses.count("regression") == 1
+        bad = next(c for c in report["cells"] if c["status"] == "regression")
+        assert bad["ratio"] == pytest.approx(0.5)
+        # with only two matched cells the quorum is one: the gate fails
+        assert report["failed"] is True
+
+    def test_one_noisy_cell_does_not_fail_a_big_matrix(self):
+        baseline = synthetic_payload(20)
+        current = slow_down(baseline, [0])
+        report = compare_bench(baseline, current)
+        assert report["regressions"] == 1
+        assert report["quorum"] == 4  # ceil(0.2 * 20)
+        assert report["failed"] is False  # reported, but below the quorum
+
+    def test_whole_scheduler_slowdown_trips_the_quorum(self):
+        baseline = synthetic_payload(20)
+        current = slow_down(baseline, [0, 1, 2, 3])
+        report = compare_bench(baseline, current)
+        assert report["regressions"] == 4
+        assert report["failed"] is True
+        assert any("quorum" in r for r in report["fail_reasons"])
+
+    def test_severe_minority_slowdown_trips_the_aggregate(self):
+        baseline = synthetic_payload(20)
+        # three cells 10x slower: below the 4-cell quorum, but they now
+        # dominate total wall time, so the aggregate speed craters
+        current = slow_down(baseline, [0, 1, 2], factor=0.1)
+        report = compare_bench(baseline, current)
+        assert report["regressions"] == 3 < report["quorum"]
+        assert report["aggregate"]["ratio"] < 0.75
+        assert report["failed"] is True
+        assert any("aggregate" in r for r in report["fail_reasons"])
+
+    def test_tolerance_controls_the_threshold(self):
+        baseline = quick_payload(n=1)
+        current = copy.deepcopy(baseline)
+        current["runs"][0]["events_per_s"] *= 0.85  # 15% slower
+        assert compare_bench(baseline, current, tolerance=0.25)["regressions"] == 0
+        assert compare_bench(baseline, current, tolerance=0.10)["regressions"] == 1
+
+    def test_rejects_out_of_range_tolerance(self):
+        payload = quick_payload(n=1)
+        with pytest.raises(ValueError):
+            compare_bench(payload, payload, tolerance=1.5)
+
+    def test_disjoint_cells_never_fail(self):
+        baseline = quick_payload(n=1)
+        current = copy.deepcopy(baseline)
+        current["runs"][0]["scheduler"] = "XYZ"
+        report = compare_bench(baseline, current)
+        assert report["regressions"] == 0
+        statuses = sorted(c["status"] for c in report["cells"])
+        assert statuses == ["baseline-only", "new"]
+
+    def test_host_mismatch_is_a_warning_not_a_failure(self):
+        baseline = quick_payload(n=1)
+        current = copy.deepcopy(baseline)
+        current["host"] = dict(current["host"], machine="other-arch")
+        report = compare_bench(baseline, current)
+        assert report["host_mismatch"] == ["machine"]
+        assert report["regressions"] == 0
+
+
+class TestRendering:
+    def test_bench_report_lists_cells_and_phases(self):
+        text = render_bench_report(quick_payload())
+        assert "events/s" in text
+        assert "des.heap" in text
+        for spec in quick_specs():
+            assert spec.scheduler in text
+
+    def test_compare_report_shows_verdict_and_warning(self):
+        payload = quick_payload(n=1)
+        clean = render_compare_report(compare_bench(payload, payload))
+        assert "OK" in clean and "FAIL" not in clean
+        broken = copy.deepcopy(payload)
+        broken["runs"][0]["events_per_s"] *= 0.1
+        broken["host"] = dict(broken["host"], python="0.0.0")
+        failing = render_compare_report(compare_bench(payload, broken))
+        assert "FAIL" in failing and "WARNING" in failing
+
+
+class TestRunBench:
+    def test_serial_run_preserves_order_and_bypasses_cache(self):
+        runner = ParallelRunner(pool_size=1, progress=None)
+        specs = quick_specs(2)
+        rows = runner.run_bench(specs, repeats=1)
+        assert [r["scheduler"] for r in rows] == [s.scheduler for s in specs]
+        # a second run re-executes (wall times are fresh measurements)
+        again = runner.run_bench(specs, repeats=1)
+        assert [r["scheduler"] for r in again] == [s.scheduler for s in specs]
+        assert all(r["wall_s"] > 0.0 for r in again)
+
+    def test_pooled_run_matches_input_order(self):
+        runner = ParallelRunner(pool_size=2, progress=None)
+        specs = quick_specs(2)
+        rows = runner.run_bench(specs, repeats=1)
+        assert [r["scheduler"] for r in rows] == [s.scheduler for s in specs]
+        bench_payload(rows, git_sha=None)  # rows slot into a valid payload

@@ -86,3 +86,19 @@ class TestMetricsCollector:
         metrics.record_restart()
         metrics.record_restart()
         assert metrics.restarts == 2
+
+
+class TestP95Exactness:
+    def test_defaults_to_exact(self):
+        assert make_result().p95_exact is True
+
+    def test_round_trips_through_dict(self):
+        estimated = make_result(p95_exact=False)
+        restored = SimulationResult.from_dict(estimated.to_dict())
+        assert restored.p95_exact is False
+        assert restored == estimated
+
+    def test_legacy_payload_defaults_to_exact(self):
+        payload = make_result().to_dict()
+        del payload["p95_exact"]
+        assert SimulationResult.from_dict(payload).p95_exact is True

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.bench import load_bench_json, validate_bench, write_bench_json
 from repro.cli import build_parser, main
 
 
@@ -162,3 +163,104 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert "trace artifacts: 1 file(s)" in out
         assert len(list((tmp_path / "traces").iterdir())) == 1
+
+
+class TestRunSeries:
+    def test_run_writes_series_artifacts(self, tmp_path, capsys):
+        series = tmp_path / "run.series.json"
+        csv = tmp_path / "run.series.csv"
+        code = main([
+            "run", "LOW", "--rate", "0.6",
+            "--duration", "40000", "--warmup", "0",
+            "--series", str(series), "--series-csv", str(csv),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[series]" in out
+        assert "p95 exact" in out
+        assert series.exists() and csv.exists()
+
+    def test_run_without_series_flags_writes_nothing(self, tmp_path,
+                                                     capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main([
+            "run", "NODC", "--rate", "0.4",
+            "--duration", "20000", "--warmup", "0",
+        ]) == 0
+        assert "[series]" not in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_bad_sample_interval_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "LOW", "--duration", "1000", "--warmup", "0",
+                  "--series", "x.json", "--sample-interval", "0"])
+
+
+class TestReportCommand:
+    def _artifact(self, tmp_path):
+        path = tmp_path / "run.series.json"
+        assert main([
+            "run", "GOW", "--rate", "0.6",
+            "--duration", "40000", "--warmup", "0", "--series", str(path),
+        ]) == 0
+        return path
+
+    def test_report_renders_sparklines(self, tmp_path, capsys):
+        path = self._artifact(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "cn.util" in out
+        assert "sample(s)" in out
+
+    def test_report_missing_file_fails(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.json")]) == 1
+        assert "ERROR" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def _bench(self, tmp_path, name, capsys):
+        path = tmp_path / name
+        assert main([
+            "bench", "--duration", "5000", "--repeats", "1",
+            "--output", str(path),
+        ]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_bench_writes_valid_artifact(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_now.json"
+        assert main([
+            "bench", "--duration", "5000", "--repeats", "1",
+            "--output", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "schema valid" in out
+        assert "events/s" in out
+        validate_bench(load_bench_json(path))
+
+    def test_compare_clean_exits_zero(self, tmp_path, capsys):
+        path = self._bench(tmp_path, "a.json", capsys)
+        assert main(["bench", "--compare", str(path), str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_compare_flags_injected_regression(self, tmp_path, capsys):
+        path = self._bench(tmp_path, "a.json", capsys)
+        payload = load_bench_json(path)
+        for row in payload["runs"]:
+            row["events_per_s"] *= 0.5  # synthetic 2x slowdown
+        slow = tmp_path / "slow.json"
+        write_bench_json(payload, slow)
+        assert main(["bench", "--compare", str(path), str(slow)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_compare_missing_file_fails(self, tmp_path, capsys):
+        assert main([
+            "bench", "--compare",
+            str(tmp_path / "a.json"), str(tmp_path / "b.json"),
+        ]) == 1
+        assert "ERROR" in capsys.readouterr().err
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--repeats", "0", "--duration", "1000"])
