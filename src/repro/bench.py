@@ -92,15 +92,23 @@ def host_info() -> typing.Dict[str, typing.Any]:
 def bench_payload(
     rows: typing.Sequence[typing.Mapping[str, typing.Any]],
     git_sha: typing.Optional[str] = None,
+    batch: typing.Optional[str] = None,
 ) -> typing.Dict[str, typing.Any]:
-    """Assemble the stable-schema BENCH artifact from bench rows."""
-    return {
+    """Assemble the stable-schema BENCH artifact from bench rows.
+
+    ``batch`` links the artifact back to the runner's registry entry
+    (set when the bench ran with live telemetry on).
+    """
+    payload = {
         "bench_schema_version": BENCH_SCHEMA_VERSION,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "git_sha": git_sha,
         "host": host_info(),
         "runs": [dict(row) for row in rows],
     }
+    if batch is not None:
+        payload["batch"] = batch
+    return payload
 
 
 def default_bench_path(

@@ -11,6 +11,11 @@ Commands:
 - ``report``      -- terminal sparkline view of a series artifact.
 - ``bench``       -- the pinned perf matrix -> ``BENCH_<date>.json``;
   ``--compare A B`` diffs two artifacts and fails on regressions.
+- ``watch``       -- live console view of a telemetry-enabled batch
+  (``--once`` renders a single frame, for CI).
+- ``runs``        -- ``list``/``show`` the persistent run registry.
+- ``tail``        -- follow a batch's telemetry stream, one line per
+  record, validating each against the telemetry schema.
 - ``schedulers``  -- list the registered schedulers.
 - ``experiments`` -- list the paper's tables/figures and how to run them.
 """
@@ -18,7 +23,9 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 import typing
 
 from repro import bench as bench_mod
@@ -27,18 +34,30 @@ from repro.core.registry import available
 from repro.machine.config import MachineConfig
 from repro.obs import (
     MemoryRecorder,
+    TelemetrySchemaError,
     TimeSeriesSampler,
+    format_telemetry_record,
     load_series_json,
+    read_status,
+    read_telemetry_records,
     render_series_report,
+    render_status,
     render_summary,
     validate_jsonl,
+    validate_telemetry_event,
     write_chrome_trace,
     write_jsonl,
     write_series_csv,
     write_series_json,
 )
 from repro.obs.schema import TraceSchemaError
-from repro.runner import ParallelRunner, ResultCache, RunSpec, WorkloadSpec
+from repro.runner import (
+    ParallelRunner,
+    ResultCache,
+    RunRegistry,
+    RunSpec,
+    WorkloadSpec,
+)
 from repro.runner.runner import _git_sha
 from repro.sim.simulation import run_simulation
 from repro.txn.workload import (
@@ -133,6 +152,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="capture a sampled time-series artifact per run")
     swp.add_argument("--series-dir", default="results/series",
                      help="series artifact directory (default results/series)")
+    swp.add_argument("--telemetry", action="store_true",
+                     help="emit live telemetry (telemetry.jsonl + "
+                          "status.json under --runs-dir; view with "
+                          "'repro watch')")
+    swp.add_argument("--stall-timeout", type=float, default=None,
+                     help="seconds without a worker heartbeat before the "
+                          "cell counts as stalled and is killed/retried "
+                          "(telemetry only; default: no stall detection)")
 
     rpt = sub.add_parser(
         "report",
@@ -168,6 +195,51 @@ def build_parser() -> argparse.ArgumentParser:
     ben.add_argument("--pool", type=int, default=1,
                      help="worker processes (default 1: serial runs give "
                           "the stablest wall-clock numbers)")
+    ben.add_argument("--telemetry", action="store_true",
+                     help="emit live telemetry for the bench batch")
+    ben.add_argument("--runs-dir", default="results/runs",
+                     help="registry/telemetry directory used with "
+                          "--telemetry (default results/runs)")
+
+    wch = sub.add_parser(
+        "watch",
+        help="live console view of a telemetry-enabled batch",
+    )
+    wch.add_argument("batch", nargs="?", default="latest",
+                     help="batch id, unique prefix, or 'latest' (default)")
+    wch.add_argument("--runs-dir", default="results/runs",
+                     help="registry directory (default results/runs)")
+    wch.add_argument("--interval", type=float, default=1.0,
+                     help="refresh interval in seconds (default 1.0)")
+    wch.add_argument("--once", action="store_true",
+                     help="render a single frame and exit (for CI)")
+
+    rns = sub.add_parser(
+        "runs",
+        help="inspect the persistent run registry (list/show)",
+    )
+    rns_sub = rns.add_subparsers(dest="runs_command")
+    rns_list = rns_sub.add_parser("list", help="one line per batch")
+    rns_list.add_argument("--runs-dir", default="results/runs",
+                          help="registry directory (default results/runs)")
+    rns_show = rns_sub.add_parser("show", help="full record of one batch")
+    rns_show.add_argument("batch", nargs="?", default="latest",
+                          help="batch id, unique prefix, or 'latest'")
+    rns_show.add_argument("--runs-dir", default="results/runs",
+                          help="registry directory (default results/runs)")
+
+    tal = sub.add_parser(
+        "tail",
+        help="follow a batch's telemetry stream (schema-validating)",
+    )
+    tal.add_argument("batch", nargs="?", default="latest",
+                     help="batch id, unique prefix, or 'latest' (default)")
+    tal.add_argument("--runs-dir", default="results/runs",
+                     help="registry directory (default results/runs)")
+    tal.add_argument("--interval", type=float, default=0.5,
+                     help="poll interval in seconds (default 0.5)")
+    tal.add_argument("--once", action="store_true",
+                     help="print what is there now and exit (for CI)")
 
     sub.add_parser("schedulers", help="list registered schedulers")
     sub.add_parser("experiments", help="list the paper's tables/figures")
@@ -361,12 +433,23 @@ def _command_sweep(args: argparse.Namespace) -> int:
         dd=args.dd,
         mpl=args.mpl,
     )
+    if args.telemetry and not args.runs_dir:
+        raise SystemExit(
+            "--telemetry needs --runs-dir (the telemetry artifacts live "
+            "there)"
+        )
+    if args.stall_timeout is not None and args.stall_timeout <= 0:
+        raise SystemExit(
+            f"--stall-timeout must be > 0, got {args.stall_timeout:g}"
+        )
     runner = ParallelRunner(
         pool_size=args.pool,
         cache=ResultCache(args.cache_dir) if args.cache_dir else None,
         runs_dir=args.runs_dir or None,
         traces_dir=args.traces_dir or None,
         series_dir=args.series_dir or None,
+        telemetry=args.telemetry,
+        stall_timeout_s=args.stall_timeout,
     )
     specs = [
         RunSpec(
@@ -388,11 +471,14 @@ def _command_sweep(args: argparse.Namespace) -> int:
         row: typing.List[object] = [rate]
         for _scheduler in schedulers:
             result = next(results)
-            row.append(
-                result.mean_response_s
-                if args.metric == "rt"
-                else result.throughput_tps
-            )
+            if result is None:  # the cell failed (stall / worker death)
+                row.append("-")
+            else:
+                row.append(
+                    result.mean_response_s
+                    if args.metric == "rt"
+                    else result.throughput_tps
+                )
         rows.append(row)
     metric_name = (
         "mean response (s)" if args.metric == "rt" else "throughput (TPS)"
@@ -433,6 +519,16 @@ def _command_sweep(args: argparse.Namespace) -> int:
         print(f"[runner] series artifacts: {len(sampled)} file(s) under "
               f"{args.series_dir or '(disabled)'}; view one with "
               "'python -m repro report <file>'")
+    if args.telemetry and runner.last_batch_id is not None:
+        print(f"[runner] telemetry: batch {runner.last_batch_id}; view "
+              f"with 'python -m repro watch {runner.last_batch_id} "
+              f"--runs-dir {args.runs_dir}'")
+    if runner.last_failures:
+        for index, message in sorted(runner.last_failures.items()):
+            print(f"[runner] FAILED cell {index} "
+                  f"({specs[index].describe()}): {message}",
+                  file=sys.stderr)
+        return 1
     return 0
 
 
@@ -463,13 +559,24 @@ def _command_bench(args: argparse.Namespace) -> int:
         raise SystemExit(f"--duration must be > 0, got {args.duration:g}")
     if args.repeats < 1:
         raise SystemExit(f"--repeats must be >= 1, got {args.repeats}")
-    runner = ParallelRunner(pool_size=args.pool, cache=None, runs_dir=None)
+    if args.telemetry and not args.runs_dir:
+        raise SystemExit("--telemetry needs --runs-dir")
+    runner = ParallelRunner(
+        pool_size=args.pool,
+        cache=None,
+        runs_dir=(args.runs_dir or None) if args.telemetry else None,
+        telemetry=args.telemetry,
+    )
     rows = runner.run_bench(
         bench_mod.bench_specs(duration_ms=args.duration, seed=args.seed),
         label="cli-bench",
         repeats=args.repeats,
     )
-    payload = bench_mod.bench_payload(rows, git_sha=_git_sha())
+    payload = bench_mod.bench_payload(
+        rows,
+        git_sha=_git_sha(),
+        batch=runner.last_batch_id if args.telemetry else None,
+    )
     bench_mod.validate_bench(payload)
     path = args.output or bench_mod.default_bench_path(
         args.out, payload["created"]
@@ -479,6 +586,120 @@ def _command_bench(args: argparse.Namespace) -> int:
     print()
     print(f"[bench] artifact -> {path} (schema valid)")
     return 0
+
+
+def _resolve_batch(
+    runs_dir: str, token: str
+) -> typing.Dict[str, typing.Any]:
+    """Registry lookup shared by watch/runs/tail; raises LookupError."""
+    return RunRegistry(runs_dir).find(token)
+
+
+def _command_watch(args: argparse.Namespace) -> int:
+    if args.interval <= 0:
+        raise SystemExit(f"--interval must be > 0, got {args.interval:g}")
+    try:
+        entry = _resolve_batch(args.runs_dir, args.batch)
+    except LookupError as exc:
+        print(f"[watch] ERROR: {exc}", file=sys.stderr)
+        return 1
+    status_path = entry.get("status_file")
+    if not status_path:
+        print(f"[watch] ERROR: batch {entry['batch']} ran without "
+              "telemetry (re-run the sweep with --telemetry)",
+              file=sys.stderr)
+        return 1
+    while True:
+        try:
+            status = read_status(status_path)
+        except (OSError, ValueError) as exc:
+            print(f"[watch] ERROR: {exc}", file=sys.stderr)
+            return 1
+        frame = render_status(status)
+        if args.once:
+            print(frame)
+            return 0
+        # clear screen + home, then the fresh frame
+        print(f"\x1b[2J\x1b[H{frame}", flush=True)
+        if status.get("status") != "running":
+            return 0
+        time.sleep(args.interval)
+
+
+def _command_runs(args: argparse.Namespace) -> int:
+    command = getattr(args, "runs_command", None) or "list"
+    runs_dir = getattr(args, "runs_dir", "results/runs")
+    registry = RunRegistry(runs_dir)
+    if command == "show":
+        try:
+            entry = registry.find(args.batch)
+        except LookupError as exc:
+            print(f"[runs] ERROR: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(entry, indent=1, sort_keys=True))
+        status_path = entry.get("status_file")
+        if status_path:
+            try:
+                print()
+                print(render_status(read_status(status_path)))
+            except (OSError, ValueError):
+                pass  # batch predates telemetry or artifacts were pruned
+        return 0
+    entries = registry.entries()
+    if not entries:
+        print(f"[runs] no batches registered under {runs_dir}")
+        return 0
+    print(render_table(
+        ["batch", "kind", "status", "runs", "failed", "wall_s", "label"],
+        [
+            [
+                e.get("batch", "?"),
+                e.get("kind", "?"),
+                e.get("status", "?"),
+                e.get("total", "?"),
+                e.get("failed", 0),
+                e.get("wall_s") if e.get("wall_s") is not None else "-",
+                e.get("label", ""),
+            ]
+            for e in entries
+        ],
+        title=f"run registry ({runs_dir})",
+    ))
+    return 0
+
+
+def _command_tail(args: argparse.Namespace) -> int:
+    if args.interval <= 0:
+        raise SystemExit(f"--interval must be > 0, got {args.interval:g}")
+    try:
+        entry = _resolve_batch(args.runs_dir, args.batch)
+    except LookupError as exc:
+        print(f"[tail] ERROR: {exc}", file=sys.stderr)
+        return 1
+    telemetry_path = entry.get("telemetry")
+    if not telemetry_path:
+        print(f"[tail] ERROR: batch {entry['batch']} ran without "
+              "telemetry (re-run the sweep with --telemetry)",
+              file=sys.stderr)
+        return 1
+    offset = 0
+    violations = 0
+    finished = False
+    while True:
+        records, offset = read_telemetry_records(telemetry_path, offset)
+        for record in records:
+            try:
+                validate_telemetry_event(record)
+            except TelemetrySchemaError as exc:
+                print(f"[tail] SCHEMA VIOLATION: {exc}", file=sys.stderr)
+                violations += 1
+                continue
+            print(format_telemetry_record(record), flush=True)
+            if record.get("kind") == "batch.done":
+                finished = True
+        if finished or args.once:
+            return 1 if violations else 0
+        time.sleep(args.interval)
 
 
 def _command_schedulers() -> int:
@@ -510,6 +731,12 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
             return _command_report(args)
         if args.command == "bench":
             return _command_bench(args)
+        if args.command == "watch":
+            return _command_watch(args)
+        if args.command == "runs":
+            return _command_runs(args)
+        if args.command == "tail":
+            return _command_tail(args)
         if args.command == "schedulers":
             return _command_schedulers()
         return _command_experiments()

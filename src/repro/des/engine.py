@@ -51,6 +51,15 @@ class Environment:
         self.sampler: typing.Optional["TimeSeriesSampler"] = None
         #: events fired so far (simulator throughput accounting)
         self.events_processed = 0
+        #: optional live-progress hook ``hook(now_ms, events_processed)``
+        #: invoked every ``progress_every`` events -- the telemetry
+        #: heartbeat rides this; observation only, and the disabled path
+        #: costs one attribute load + None test per step
+        self.progress_hook: typing.Optional[
+            typing.Callable[[float, int], None]
+        ] = None
+        self.progress_every: int = 4096
+        self._progress_next = 0
 
     # -- clock -------------------------------------------------------------
 
@@ -129,6 +138,10 @@ class Environment:
             sampler.advance_to(when)
         self._now = when
         self.events_processed += 1
+        progress = self.progress_hook
+        if progress is not None and self.events_processed >= self._progress_next:
+            self._progress_next = self.events_processed + self.progress_every
+            progress(self._now, self.events_processed)
         callbacks, event.callbacks = event.callbacks, []
         event._mark_processed()
         for callback in callbacks:

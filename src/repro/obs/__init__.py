@@ -30,6 +30,9 @@ Public surface:
 - :mod:`repro.obs.profile` -- wall-clock self-profiler attributing
   simulator time to DES-heap, scheduler-decision, lock-manager and
   machine-modelling phases.
+- :mod:`repro.obs.telemetry` -- live batch telemetry: worker lifecycle
+  JSONL streams, heartbeats, the ``status.json`` aggregator and the
+  ``repro watch`` / ``repro tail`` renderers.
 """
 
 from repro.obs.events import EVENT_KINDS, TraceEvent
@@ -54,6 +57,23 @@ from repro.obs.profile import (
     profiled,
 )
 from repro.obs.schema import TRACE_SCHEMA_VERSION, validate_event, validate_jsonl
+from repro.obs.telemetry import (
+    STATUS_SCHEMA_VERSION,
+    TELEMETRY_EVENT_KINDS,
+    TELEMETRY_SCHEMA_VERSION,
+    BatchStatus,
+    TelemetrySchemaError,
+    TelemetrySink,
+    WorkerTelemetry,
+    format_telemetry_record,
+    read_status,
+    read_telemetry_records,
+    render_status,
+    telemetry_event_kinds,
+    validate_telemetry_event,
+    validate_telemetry_jsonl,
+    write_status,
+)
 from repro.obs.timeseries import (
     SERIES_SCHEMA_VERSION,
     FixedHistogram,
@@ -71,6 +91,7 @@ from repro.obs.timeseries import (
 )
 
 __all__ = [
+    "BatchStatus",
     "EVENT_KINDS",
     "FixedHistogram",
     "LogHistogram",
@@ -82,25 +103,39 @@ __all__ = [
     "PHASES",
     "PhaseProfiler",
     "SERIES_SCHEMA_VERSION",
+    "STATUS_SCHEMA_VERSION",
     "Series",
     "SimProfiler",
+    "TELEMETRY_EVENT_KINDS",
+    "TELEMETRY_SCHEMA_VERSION",
     "TRACE_SCHEMA_VERSION",
+    "TelemetrySchemaError",
+    "TelemetrySink",
     "TimeSeriesSampler",
     "TraceEvent",
     "TraceRecorder",
+    "WorkerTelemetry",
+    "format_telemetry_record",
     "gauge",
     "load_series_json",
     "profiled",
+    "read_status",
+    "read_telemetry_records",
     "render_series_report",
+    "render_status",
     "render_summary",
     "sparkline",
+    "telemetry_event_kinds",
     "to_chrome_trace",
     "validate_event",
     "validate_jsonl",
     "validate_series",
+    "validate_telemetry_event",
+    "validate_telemetry_jsonl",
     "windowed_rate",
     "write_chrome_trace",
     "write_jsonl",
     "write_series_csv",
     "write_series_json",
+    "write_status",
 ]

@@ -1,0 +1,670 @@
+"""Live fleet telemetry for the parallel runner.
+
+PR 2/3 observability is *post-hoc and per-run*: traces, series and bench
+artifacts only exist once a run finished.  This module is the *live*
+layer: while a batch executes, every worker appends structured lifecycle
+records (``run.start`` / ``run.heartbeat`` / ``run.done`` / ``run.error``)
+to a shared per-batch ``telemetry.jsonl``, and the parent folds that
+stream into an atomically rewritten ``status.json`` snapshot -- per-cell
+% of the simulated horizon reached, cells done/failed/pending, EWMA
+fleet throughput and an ETA -- which ``repro watch`` renders and the
+runner's stall detector watches (no heartbeat for ``stall_timeout``
+means a worker is hung, not slow).
+
+Concurrency model: every record is one JSON line written with a single
+``write()`` call on an append-mode handle, so POSIX ``O_APPEND``
+guarantees lines from different worker processes never interleave.
+``status.json`` is rewritten through a unique temp file + ``os.replace``
+so a reader can never observe a torn snapshot.
+
+Same contract as tracing and sampling: telemetry only *observes*.  The
+heartbeat hook reads the engine clock and event counter; a run with
+telemetry on returns byte-identical results to the same run without.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+import traceback as traceback_mod
+import typing
+
+PathLike = typing.Union[str, pathlib.Path]
+
+#: bump when telemetry record kinds/fields change incompatibly; written
+#: into every ``batch.meta`` record and checked by the validator
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: bump when the ``status.json`` snapshot layout changes incompatibly
+STATUS_SCHEMA_VERSION = 1
+
+#: every kind a telemetry stream may carry, mapped to the field names
+#: each record must have besides ``ts`` and ``kind`` (validator-enforced)
+TELEMETRY_EVENT_KINDS: typing.Dict[str, typing.Tuple[str, ...]] = {
+    # -- batch lifecycle (parent-emitted) ---------------------------------
+    "batch.meta": ("schema", "batch", "label", "total"),
+    "batch.done": ("status", "wall_s"),
+    # -- cell lifecycle (worker-emitted unless noted) ---------------------
+    "run.cached": ("cell",),                # parent: served from cache
+    "run.coalesced": ("cell",),             # parent: duplicate of a cell
+    "run.start": ("cell", "pid", "key", "until_ms"),
+    "run.heartbeat": (
+        "cell", "pid", "sim_ms", "until_ms", "events", "progress",
+    ),
+    "run.done": ("cell", "pid", "wall_s"),
+    "run.error": ("cell", "error"),         # worker traceback or parent
+    "run.stalled": ("cell", "idle_s"),      # parent: heartbeat overdue
+    "run.retry": ("cell", "attempt"),       # parent: resubmitted once
+}
+
+#: cell states a snapshot reports; terminal ones stop stall-watching
+CELL_STATES = (
+    "pending", "running", "stalled", "done", "cached", "failed",
+)
+_TERMINAL_STATES = frozenset(("done", "cached", "failed"))
+
+#: smoothing factor of the fleet-throughput EWMA (per heartbeat)
+EWMA_ALPHA = 0.25
+
+
+def telemetry_event_kinds() -> typing.Tuple[str, ...]:
+    """All known telemetry kinds, sorted (documentation helper)."""
+    return tuple(sorted(TELEMETRY_EVENT_KINDS))
+
+
+class TelemetrySchemaError(ValueError):
+    """A telemetry record (or stream) violates the schema."""
+
+
+def validate_telemetry_event(
+    record: typing.Mapping[str, typing.Any],
+) -> None:
+    """Raise :class:`TelemetrySchemaError` unless ``record`` is valid."""
+    kind = record.get("kind")
+    if not isinstance(kind, str):
+        raise TelemetrySchemaError(
+            f"record has no string 'kind': {record!r}"
+        )
+    if kind not in TELEMETRY_EVENT_KINDS:
+        raise TelemetrySchemaError(f"unknown telemetry kind {kind!r}")
+    stamp = record.get("ts")
+    if not isinstance(stamp, (int, float)) or isinstance(stamp, bool):
+        raise TelemetrySchemaError(
+            f"{kind}: 'ts' must be a number, got {stamp!r}"
+        )
+    if stamp < 0:
+        raise TelemetrySchemaError(f"{kind}: negative timestamp {stamp}")
+    missing = [
+        field
+        for field in TELEMETRY_EVENT_KINDS[kind]
+        if field not in record
+    ]
+    if missing:
+        raise TelemetrySchemaError(
+            f"{kind}: missing required fields {missing}"
+        )
+
+
+def validate_telemetry_jsonl(path: PathLike) -> int:
+    """Validate a ``telemetry.jsonl`` file; returns the record count.
+
+    Checks that the first record is a ``batch.meta`` carrying the
+    supported :data:`TELEMETRY_SCHEMA_VERSION` and that every record is
+    a well-formed known kind.  Wall-clock timestamps from concurrent
+    workers may interleave by microseconds, so -- unlike the simulated
+    clock of trace files -- ``ts`` is *not* required to be monotone.
+    """
+    path = pathlib.Path(path)
+    count = 0
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TelemetrySchemaError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(record, dict):
+                raise TelemetrySchemaError(
+                    f"{path}:{lineno}: expected an object, "
+                    f"got {type(record).__name__}"
+                )
+            try:
+                validate_telemetry_event(record)
+            except TelemetrySchemaError as exc:
+                raise TelemetrySchemaError(
+                    f"{path}:{lineno}: {exc}"
+                ) from exc
+            if count == 0:
+                if record["kind"] != "batch.meta":
+                    raise TelemetrySchemaError(
+                        f"{path}: first record must be batch.meta, "
+                        f"got {record['kind']!r}"
+                    )
+                if record["schema"] != TELEMETRY_SCHEMA_VERSION:
+                    raise TelemetrySchemaError(
+                        f"{path}: schema version {record['schema']!r} != "
+                        f"supported {TELEMETRY_SCHEMA_VERSION}"
+                    )
+            count += 1
+    if count == 0:
+        raise TelemetrySchemaError(f"{path}: empty telemetry stream")
+    return count
+
+
+# -- the multiprocessing-safe writer ------------------------------------------
+
+
+class TelemetrySink:
+    """Appends telemetry records to a JSONL file, one line per record.
+
+    Safe to use from many processes at once: the handle is opened in
+    append mode and each record is one ``write()`` of one line, which
+    POSIX guarantees lands contiguously for ``O_APPEND`` writes (lines
+    stay far below ``PIPE_BUF``).  The handle opens lazily so a sink is
+    picklable until first use.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        after_emit: typing.Optional[
+            typing.Callable[[typing.Dict[str, typing.Any]], None]
+        ] = None,
+    ) -> None:
+        self.path = pathlib.Path(path)
+        #: optional same-process hook fired after every record (the
+        #: serial runner uses it to refresh status.json mid-run)
+        self.after_emit = after_emit
+        self._handle: typing.Optional[typing.TextIO] = None
+
+    def emit(self, kind: str, **fields: typing.Any) -> None:
+        """Append one record stamped with the current wall clock."""
+        record: typing.Dict[str, typing.Any] = {
+            "ts": round(time.time(), 6), "kind": kind,
+        }
+        record.update(fields)
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        if self.after_emit is not None:
+            self.after_emit(record)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_telemetry_records(
+    path: PathLike, offset: int = 0
+) -> typing.Tuple[typing.List[typing.Dict[str, typing.Any]], int]:
+    """Read complete records appended since ``offset`` (bytes).
+
+    Returns ``(records, new_offset)``.  A trailing partial line (a
+    worker mid-write) is left for the next call; malformed complete
+    lines are skipped -- the tailer must stay robust while the strict
+    :func:`validate_telemetry_jsonl` is what CI runs on the final file.
+    """
+    path = pathlib.Path(path)
+    try:
+        with path.open("rb") as handle:
+            handle.seek(offset)
+            data = handle.read()
+    except OSError:
+        return [], offset
+    end = data.rfind(b"\n")
+    if end < 0:
+        return [], offset
+    records = []
+    for line in data[: end + 1].splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records, offset + end + 1
+
+
+# -- worker-side lifecycle emitter --------------------------------------------
+
+
+class WorkerTelemetry:
+    """Emits one cell's lifecycle from inside the worker process.
+
+    Instances are built in the parent and pickled into worker jobs, so
+    the sink opens lazily on first emit (in the worker).  Heartbeats
+    ride the engine's progress hook: the hook fires every
+    ``progress_every`` DES events and a heartbeat is emitted whenever at
+    least ``heartbeat_s`` wall seconds elapsed since the previous one,
+    carrying the simulated clock, the cumulative event count and the
+    fraction of the run horizon reached.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        cell: int,
+        until_ms: float,
+        key: str = "",
+        label: str = "",
+        heartbeat_s: float = 0.5,
+        progress_every: int = 4096,
+    ) -> None:
+        self.path = str(path)
+        self.cell = cell
+        self.until_ms = float(until_ms)
+        self.key = key
+        self.label = label
+        self.heartbeat_s = heartbeat_s
+        self.progress_every = progress_every
+        #: optional same-process hook (serial path only; not pickled
+        #: into pool jobs, which leave it None)
+        self.on_emit: typing.Optional[
+            typing.Callable[[typing.Dict[str, typing.Any]], None]
+        ] = None
+        self._sink: typing.Optional[TelemetrySink] = None
+        self._last_beat = 0.0
+
+    def _emit(self, kind: str, **fields: typing.Any) -> None:
+        if self._sink is None:
+            self._sink = TelemetrySink(self.path, after_emit=self.on_emit)
+        self._sink.emit(kind, cell=self.cell, pid=os.getpid(), **fields)
+
+    def start(self) -> None:
+        """Emit ``run.start``; call before any simulation work."""
+        self._last_beat = time.monotonic()
+        self._emit(
+            "run.start", key=self.key, label=self.label,
+            until_ms=self.until_ms,
+        )
+
+    def install(self, env: typing.Any) -> None:
+        """Attach the heartbeat to an engine's progress hook."""
+        env.progress_every = self.progress_every
+        env.progress_hook = self._on_progress
+
+    def _on_progress(self, now_ms: float, events: int) -> None:
+        wall = time.monotonic()
+        if wall - self._last_beat < self.heartbeat_s:
+            return
+        self._last_beat = wall
+        progress = (
+            min(1.0, now_ms / self.until_ms) if self.until_ms > 0 else 0.0
+        )
+        self._emit(
+            "run.heartbeat", sim_ms=now_ms, until_ms=self.until_ms,
+            events=events, progress=round(progress, 6),
+        )
+
+    def done(self, wall_s: float, events: int) -> None:
+        self._emit("run.done", wall_s=round(wall_s, 6), events=events)
+
+    def error(self, exc: BaseException) -> None:
+        self._emit(
+            "run.error",
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback_mod.format_exc(),
+        )
+
+
+# -- parent-side aggregation --------------------------------------------------
+
+
+class BatchStatus:
+    """Folds a telemetry stream into the live ``status.json`` snapshot.
+
+    The parent feeds every record (its own and the tailed worker ones)
+    through :meth:`consume`; :meth:`snapshot` is the JSON-ready view and
+    :meth:`stalled_candidates` is what the runner's stall detector
+    polls.  All state derives from the stream, so a crashed parent can
+    rebuild the snapshot by replaying ``telemetry.jsonl``.
+    """
+
+    def __init__(
+        self,
+        batch: str,
+        label: str,
+        cells: typing.Sequence[typing.Mapping[str, typing.Any]],
+        kind: str = "sweep",
+    ) -> None:
+        self.batch = batch
+        self.label = label
+        self.kind = kind
+        self.created_ts = time.time()
+        #: terminal batch status once ``batch.done`` was consumed
+        self.finished: typing.Optional[str] = None
+        self.wall_s: typing.Optional[float] = None
+        self.ewma_events_per_s: typing.Optional[float] = None
+        self.cells: typing.List[typing.Dict[str, typing.Any]] = [
+            {
+                "cell": int(info["cell"]),
+                "key": info.get("key", ""),
+                "label": info.get("label", ""),
+                "state": "pending",
+                "progress": 0.0,
+                "sim_ms": 0.0,
+                "until_ms": float(info.get("until_ms", 0.0)),
+                "events": 0,
+                "pid": None,
+                "attempt": 0,
+                "stalled": False,
+                "error": None,
+                "wall_s": None,
+                "last_activity_ts": None,
+            }
+            for info in cells
+        ]
+        #: cell -> (ts, events, sim_ms) of the previous heartbeat
+        self._last_beat: typing.Dict[
+            int, typing.Tuple[float, int, float]
+        ] = {}
+        #: cell -> (events_per_s, sim_ms_per_s) instantaneous rates
+        self._rates: typing.Dict[int, typing.Tuple[float, float]] = {}
+
+    def _cell(
+        self, record: typing.Mapping[str, typing.Any]
+    ) -> typing.Optional[typing.Dict[str, typing.Any]]:
+        index = record.get("cell")
+        if isinstance(index, int) and 0 <= index < len(self.cells):
+            return self.cells[index]
+        return None
+
+    def consume(self, record: typing.Mapping[str, typing.Any]) -> None:
+        """Fold one telemetry record into the status."""
+        kind = record.get("kind")
+        if kind == "batch.done":
+            self.finished = record.get("status", "complete")
+            self.wall_s = record.get("wall_s")
+            return
+        if kind == "batch.meta":
+            return
+        cell = self._cell(record)
+        if cell is None:
+            return
+        index = cell["cell"]
+        stamp = float(record.get("ts", time.time()))
+        if kind == "run.cached":
+            cell["state"] = "cached"
+            cell["progress"] = 1.0
+        elif kind == "run.coalesced":
+            # a duplicate spec filled from another cell's fresh result
+            cell["state"] = "done"
+            cell["progress"] = 1.0
+        elif kind == "run.start":
+            cell["state"] = "running"
+            cell["pid"] = record.get("pid")
+            cell["attempt"] += 1
+            cell["stalled"] = False
+            cell["last_activity_ts"] = stamp
+            self._last_beat[index] = (stamp, 0, 0.0)
+            self._rates.pop(index, None)
+        elif kind == "run.heartbeat":
+            cell["sim_ms"] = record.get("sim_ms", cell["sim_ms"])
+            cell["events"] = record.get("events", cell["events"])
+            cell["progress"] = record.get("progress", cell["progress"])
+            cell["last_activity_ts"] = stamp
+            if cell["state"] == "stalled":  # it was merely slow
+                cell["state"] = "running"
+                cell["stalled"] = False
+            previous = self._last_beat.get(index)
+            if previous is not None:
+                dt = stamp - previous[0]
+                if dt > 0:
+                    self._rates[index] = (
+                        (cell["events"] - previous[1]) / dt,
+                        (cell["sim_ms"] - previous[2]) / dt,
+                    )
+                    aggregate = sum(r[0] for r in self._rates.values())
+                    if self.ewma_events_per_s is None:
+                        self.ewma_events_per_s = aggregate
+                    else:
+                        self.ewma_events_per_s = (
+                            EWMA_ALPHA * aggregate
+                            + (1.0 - EWMA_ALPHA) * self.ewma_events_per_s
+                        )
+            self._last_beat[index] = (
+                stamp, int(cell["events"]), float(cell["sim_ms"]),
+            )
+        elif kind == "run.done":
+            cell["state"] = "done"
+            cell["progress"] = 1.0
+            cell["wall_s"] = record.get("wall_s")
+            if "events" in record:
+                cell["events"] = record["events"]
+            self._rates.pop(index, None)
+        elif kind == "run.error":
+            cell["state"] = "failed"
+            cell["error"] = record.get("error")
+            self._rates.pop(index, None)
+        elif kind == "run.stalled":
+            cell["state"] = "stalled"
+            cell["stalled"] = True
+            self._rates.pop(index, None)
+        elif kind == "run.retry":
+            cell["state"] = "pending"
+            cell["pid"] = None
+
+    def pid_of(self, cell: int) -> typing.Optional[int]:
+        return self.cells[cell]["pid"]
+
+    def stalled_candidates(
+        self, stall_timeout_s: float, now: typing.Optional[float] = None
+    ) -> typing.List[int]:
+        """Running cells whose last sign of life is overdue."""
+        now = time.time() if now is None else now
+        overdue = []
+        for cell in self.cells:
+            if cell["state"] != "running":
+                continue
+            last = cell["last_activity_ts"]
+            if last is not None and now - last > stall_timeout_s:
+                overdue.append(cell["cell"])
+        return overdue
+
+    def snapshot(self) -> typing.Dict[str, typing.Any]:
+        """The JSON-ready view ``status.json`` and ``repro watch`` use."""
+        counts = {state: 0 for state in CELL_STATES}
+        for cell in self.cells:
+            counts[cell["state"]] += 1
+        total = len(self.cells)
+        progress = (
+            sum(c["progress"] for c in self.cells) / total if total else 1.0
+        )
+        remaining_ms = sum(
+            (1.0 - c["progress"]) * c["until_ms"]
+            for c in self.cells
+            if c["state"] not in _TERMINAL_STATES
+        )
+        sim_rate = sum(rate[1] for rate in self._rates.values())
+        eta_s = (
+            round(remaining_ms / sim_rate, 1) if sim_rate > 0 else None
+        )
+        return {
+            "schema": STATUS_SCHEMA_VERSION,
+            "batch": self.batch,
+            "label": self.label,
+            "kind": self.kind,
+            "created_ts": round(self.created_ts, 3),
+            "updated_ts": round(time.time(), 3),
+            "status": self.finished or "running",
+            "wall_s": self.wall_s,
+            "total": total,
+            "counts": counts,
+            "progress": round(progress, 6),
+            "ewma_events_per_s": (
+                round(self.ewma_events_per_s, 1)
+                if self.ewma_events_per_s is not None
+                else None
+            ),
+            "eta_s": eta_s,
+            "workers": [
+                {"pid": c["pid"], "cell": c["cell"]}
+                for c in self.cells
+                if c["state"] in ("running", "stalled")
+                and c["pid"] is not None
+            ],
+            "cells": [dict(c) for c in self.cells],
+        }
+
+    def write(self, path: PathLike) -> pathlib.Path:
+        """Atomically rewrite the snapshot (unique temp + replace)."""
+        return write_status(self.snapshot(), path)
+
+
+def write_status(
+    snapshot: typing.Mapping[str, typing.Any], path: PathLike
+) -> pathlib.Path:
+    """Write a snapshot so readers never observe a torn file."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=".status.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(snapshot, indent=1, sort_keys=True))
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    os.replace(tmp, path)
+    return path
+
+
+def read_status(path: PathLike) -> typing.Dict[str, typing.Any]:
+    """Load a ``status.json`` snapshot, checking its schema version."""
+    payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: status must be a JSON object")
+    if payload.get("schema") != STATUS_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: status schema {payload.get('schema')!r} != "
+            f"supported {STATUS_SCHEMA_VERSION}"
+        )
+    return payload
+
+
+# -- terminal rendering -------------------------------------------------------
+
+
+def _bar(progress: float, width: int) -> str:
+    filled = int(round(max(0.0, min(1.0, progress)) * width))
+    return "#" * filled + "-" * (width - filled)
+
+
+def _human_rate(events_per_s: typing.Optional[float]) -> str:
+    if events_per_s is None:
+        return "-"
+    if events_per_s >= 1e6:
+        return f"{events_per_s / 1e6:.1f}M ev/s"
+    if events_per_s >= 1e3:
+        return f"{events_per_s / 1e3:.1f}k ev/s"
+    return f"{events_per_s:.0f} ev/s"
+
+
+def render_status(
+    status: typing.Mapping[str, typing.Any], width: int = 28
+) -> str:
+    """The ``repro watch`` frame: one progress bar per cell."""
+    counts = status.get("counts", {})
+    finished = (
+        counts.get("done", 0) + counts.get("cached", 0)
+    )
+    header = (
+        f"batch {status.get('batch', '?')} ({status.get('label', '?')})  "
+        f"[{status.get('status', '?')}]  "
+        f"{finished}/{status.get('total', 0)} finished"
+    )
+    for state in ("failed", "stalled", "running", "pending"):
+        if counts.get(state):
+            header += f", {counts[state]} {state}"
+    eta = status.get("eta_s")
+    line2 = (
+        f"  all [{_bar(status.get('progress', 0.0), width)}] "
+        f"{status.get('progress', 0.0) * 100:5.1f}%  "
+        f"{_human_rate(status.get('ewma_events_per_s'))}"
+        + (f"  ETA {eta:.0f}s" if eta is not None else "")
+    )
+    lines = [header, line2, ""]
+    now = time.time()
+    for cell in status.get("cells", []):
+        state = cell.get("state", "?")
+        suffix = state
+        if state == "running" and cell.get("pid"):
+            suffix += f" pid={cell['pid']}"
+        if state in ("running", "stalled") and cell.get("stalled"):
+            last = cell.get("last_activity_ts")
+            idle = f" {now - last:.0f}s" if last else ""
+            suffix += f"  STALLED{idle}"
+        if state == "done" and cell.get("wall_s") is not None:
+            suffix += f" ({cell['wall_s']:.1f}s)"
+        if state == "failed" and cell.get("error"):
+            suffix += f": {str(cell['error'])[:60]}"
+        if cell.get("attempt", 0) > 1:
+            suffix += f"  attempt {cell['attempt']}"
+        lines.append(
+            f"  {cell.get('cell', '?'):>3} "
+            f"[{_bar(cell.get('progress', 0.0), width)}] "
+            f"{cell.get('progress', 0.0) * 100:5.1f}%  "
+            f"{cell.get('label', '')}  {suffix}"
+        )
+    return "\n".join(lines)
+
+
+def format_telemetry_record(
+    record: typing.Mapping[str, typing.Any],
+) -> str:
+    """One human line per record, for ``repro tail``."""
+    stamp = record.get("ts")
+    clock = (
+        time.strftime("%H:%M:%S", time.localtime(stamp))
+        if isinstance(stamp, (int, float))
+        else "??:??:??"
+    )
+    kind = record.get("kind", "?")
+    if kind == "batch.meta":
+        body = (
+            f"batch {record.get('batch')} ({record.get('label')}) "
+            f"{record.get('total')} cell(s)"
+        )
+    elif kind == "batch.done":
+        body = (
+            f"batch {record.get('status')} "
+            f"in {record.get('wall_s', 0):.1f}s"
+        )
+    elif kind == "run.heartbeat":
+        body = (
+            f"cell {record.get('cell')} "
+            f"{record.get('progress', 0) * 100:5.1f}% "
+            f"sim={record.get('sim_ms', 0):.0f}ms "
+            f"events={record.get('events', 0)}"
+        )
+    elif kind == "run.error":
+        body = f"cell {record.get('cell')} ERROR {record.get('error')}"
+    elif kind == "run.stalled":
+        body = (
+            f"cell {record.get('cell')} STALLED "
+            f"(idle {record.get('idle_s')}s)"
+        )
+    else:
+        extras = " ".join(
+            f"{key}={record[key]}"
+            for key in ("pid", "label", "wall_s", "attempt")
+            if key in record
+        )
+        body = f"cell {record.get('cell')} {extras}".rstrip()
+    return f"{clock} {kind:<14} {body}"

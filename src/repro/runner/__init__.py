@@ -9,12 +9,19 @@ Public surface:
 
 - :class:`RunSpec` / :class:`WorkloadSpec` -- declarative run inputs.
 - :class:`ResultCache` -- content-addressed result store.
-- :class:`ParallelRunner` -- batch executor (pool + cache + manifest).
+- :class:`ParallelRunner` -- batch executor (pool + cache + manifest,
+  plus live telemetry, stall detection and broken-pool recovery).
+- :class:`RunRegistry` -- persistent index of every executed batch.
 - :func:`execute_spec` -- one spec, inline, no orchestration.
 - :func:`default_runner` -- runner over the ``results/`` layout.
 """
 
 from repro.runner.cache import ResultCache
+from repro.runner.registry import (
+    REGISTRY_FILENAME,
+    RunRegistry,
+    spec_digest,
+)
 from repro.runner.runner import (
     ParallelRunner,
     RunEvent,
@@ -32,9 +39,11 @@ from repro.runner.worker import execute_bench, execute_spec
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
+    "REGISTRY_FILENAME",
     "ParallelRunner",
     "ResultCache",
     "RunEvent",
+    "RunRegistry",
     "RunSpec",
     "WorkloadSpec",
     "default_runner",
@@ -42,5 +51,6 @@ __all__ = [
     "execute_spec",
     "print_progress",
     "register_workload",
+    "spec_digest",
     "workload_kinds",
 ]

@@ -5,8 +5,11 @@ single directory small when sweeps accumulate thousands of entries.
 Each entry stores the spec alongside the result so the cache is
 self-describing and auditable.
 
-Writes go through a same-directory temp file + ``os.replace`` so a
-killed run never leaves a truncated entry behind.
+Writes go through a same-directory *unique* temp file + ``os.replace``
+so a killed run never leaves a truncated entry behind and concurrent
+runners (processes *or* threads) sharing a cache directory can race on
+the same key without a reader ever observing a torn JSON entry -- the
+last replace wins, and every intermediate state is a complete file.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import tempfile
 import typing
 
 from repro.runner.spec import CACHE_FORMAT_VERSION, RunSpec
@@ -54,8 +58,21 @@ class ResultCache:
             "spec": spec.to_dict(),
             "result": result.to_dict(),
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        # a pid-suffixed name is not unique enough: two threads of one
+        # runner (or a recycled pid) could interleave writes into the
+        # same temp file; mkstemp guarantees a fresh file per writer
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".{key[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(payload, sort_keys=True, indent=1))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         os.replace(tmp, path)
         return path
 

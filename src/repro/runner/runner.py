@@ -9,27 +9,51 @@ order, no matter how execution interleaves:
 - the remainder fans out over a process pool, streaming a progress line
   per completed run;
 - every batch appends a JSON manifest under ``runs_dir`` recording the
-  specs, git SHA, wall time and cache hit/miss counts.
+  specs, git SHA, wall time and cache hit/miss counts, and registers
+  itself in the :class:`~repro.runner.registry.RunRegistry` index.
 
 Because each run is a pure function of its spec, results are identical
 for any pool size -- the determinism tests assert byte-identical output
 for pool sizes 1 and N.
+
+Live telemetry (``telemetry=True``): workers append lifecycle records
+to ``<runs_dir>/<batch_id>/telemetry.jsonl`` and the runner folds them
+into an atomically rewritten ``status.json`` (watch it with ``repro
+watch``).  With a ``stall_timeout_s`` the runner watches heartbeats: a
+running worker silent for that long is marked *stalled*, killed, and
+(``stall_retry``) resubmitted once -- a hung cell can fail, but it can
+never hang the batch.  A worker process that dies abruptly (OOM kill,
+segfault) is caught as ``BrokenProcessPool``: the affected cells are
+recorded as failed in the manifest and the batch returns its partial
+results instead of losing everything.  ``KeyboardInterrupt`` writes a
+partial manifest marked ``interrupted`` before propagating.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import concurrent.futures.process
 import dataclasses
 import json
 import os
 import pathlib
 import re
+import signal
 import subprocess
 import sys
+import tempfile
 import time
 import typing
 
+from repro.obs.telemetry import (
+    TELEMETRY_SCHEMA_VERSION,
+    BatchStatus,
+    TelemetrySink,
+    WorkerTelemetry,
+    read_telemetry_records,
+)
 from repro.runner.cache import ResultCache
+from repro.runner.registry import RunRegistry, spec_digest
 from repro.runner.spec import RunSpec
 from repro.runner.worker import (
     execute_bench,
@@ -105,6 +129,147 @@ def _slug(label: str) -> str:
     return re.sub(r"[^A-Za-z0-9._-]+", "-", label).strip("-") or "batch"
 
 
+class _BatchTelemetry:
+    """Parent-side telemetry of one batch: sink + status + stall watch.
+
+    Workers (and the parent itself) append records to
+    ``<dir>/telemetry.jsonl``; :meth:`tick` tails the file, folds every
+    new record into the :class:`BatchStatus`, flags heartbeat-overdue
+    cells, and rewrites ``status.json`` (throttled).  Everything the
+    snapshot says derives from the JSONL stream, so the stream is the
+    single source of truth.
+    """
+
+    #: at most one status.json rewrite per this many seconds
+    STATUS_INTERVAL_S = 0.5
+    #: how long the runner waits on futures between telemetry ticks
+    POLL_S = 0.2
+
+    def __init__(
+        self,
+        runs_dir: pathlib.Path,
+        batch_id: str,
+        label: str,
+        specs: typing.Sequence[RunSpec],
+        keys: typing.Sequence[str],
+        kind: str,
+        heartbeat_s: float,
+        progress_every: int,
+        stall_timeout_s: typing.Optional[float],
+    ) -> None:
+        self.dir = pathlib.Path(runs_dir) / batch_id
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.dir / "telemetry.jsonl"
+        self.status_path = self.dir / "status.json"
+        self.heartbeat_s = heartbeat_s
+        self.progress_every = progress_every
+        self.stall_timeout_s = stall_timeout_s
+        self._specs = list(specs)
+        self._keys = list(keys)
+        self.sink = TelemetrySink(self.path)
+        self.status = BatchStatus(
+            batch_id,
+            label,
+            [
+                {
+                    "cell": index,
+                    "key": keys[index][:16],
+                    "label": specs[index].describe(),
+                    "until_ms": specs[index].duration_ms,
+                }
+                for index in range(len(specs))
+            ],
+            kind=kind,
+        )
+        self._offset = 0
+        self._last_write = 0.0
+        self.sink.emit(
+            "batch.meta",
+            schema=TELEMETRY_SCHEMA_VERSION,
+            batch=batch_id,
+            label=label,
+            total=len(specs),
+            mode=kind,
+        )
+        self.tick(force=True)
+
+    # -- worker contexts ----------------------------------------------------
+
+    def worker_context(self, index: int) -> WorkerTelemetry:
+        """A picklable lifecycle emitter for one pool job."""
+        spec = self._specs[index]
+        return WorkerTelemetry(
+            str(self.path),
+            index,
+            until_ms=spec.duration_ms,
+            key=self._keys[index][:16],
+            label=spec.describe(),
+            heartbeat_s=self.heartbeat_s,
+            progress_every=self.progress_every,
+        )
+
+    def inline_worker(self, index: int) -> WorkerTelemetry:
+        """Same, for the serial path: every emit refreshes the status."""
+        context = self.worker_context(index)
+        context.on_emit = self._on_inline_record
+        return context
+
+    def _on_inline_record(
+        self, record: typing.Mapping[str, typing.Any]
+    ) -> None:
+        del record  # the tick tails the file; stalls can't self-detect
+        self.tick()
+
+    # -- parent-emitted lifecycle -------------------------------------------
+
+    def mark_cached(self, index: int) -> None:
+        self.sink.emit("run.cached", cell=index)
+
+    def mark_coalesced(self, index: int) -> None:
+        self.sink.emit("run.coalesced", cell=index)
+
+    def fail(self, index: int, message: str) -> None:
+        self.sink.emit("run.error", cell=index, error=message)
+
+    def retry(self, index: int, attempt: int) -> None:
+        self.sink.emit("run.retry", cell=index, attempt=attempt)
+
+    # -- the heartbeat of the parent loop -----------------------------------
+
+    def tick(self, force: bool = False) -> typing.List[int]:
+        """Fold new records in; returns cells that *just* went stalled."""
+        records, self._offset = read_telemetry_records(
+            self.path, self._offset
+        )
+        for record in records:
+            self.status.consume(record)
+        newly: typing.List[int] = []
+        if self.stall_timeout_s is not None:
+            for cell in self.status.stalled_candidates(self.stall_timeout_s):
+                last = self.status.cells[cell]["last_activity_ts"]
+                idle = time.time() - last if last else 0.0
+                self.sink.emit(
+                    "run.stalled", cell=cell, idle_s=round(idle, 3)
+                )
+                newly.append(cell)
+            if newly:
+                records, self._offset = read_telemetry_records(
+                    self.path, self._offset
+                )
+                for record in records:
+                    self.status.consume(record)
+        now = time.monotonic()
+        if force or newly or now - self._last_write >= self.STATUS_INTERVAL_S:
+            self.status.write(self.status_path)
+            self._last_write = now
+        return newly
+
+    def finish(self, status: str, wall_s: float) -> None:
+        self.sink.emit("batch.done", status=status, wall_s=round(wall_s, 3))
+        self.tick(force=True)
+        self.sink.close()
+
+
 class ParallelRunner:
     """Executes spec batches across worker processes, cache-first."""
 
@@ -118,9 +283,22 @@ class ParallelRunner:
         ] = print_progress,
         traces_dir: typing.Optional[typing.Union[str, pathlib.Path]] = None,
         series_dir: typing.Optional[typing.Union[str, pathlib.Path]] = None,
+        telemetry: bool = False,
+        stall_timeout_s: typing.Optional[float] = None,
+        stall_retry: bool = True,
+        heartbeat_s: float = 0.5,
+        progress_every: int = 4096,
     ) -> None:
         if pool_size is not None and pool_size < 1:
             raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        if telemetry and runs_dir is None:
+            raise ValueError(
+                "telemetry needs a runs_dir to write the batch artifacts"
+            )
+        if stall_timeout_s is not None and stall_timeout_s <= 0:
+            raise ValueError(
+                f"stall_timeout_s must be > 0, got {stall_timeout_s}"
+            )
         self.pool_size = pool_size or os.cpu_count() or 1
         self.cache = cache
         self.runs_dir = pathlib.Path(runs_dir) if runs_dir is not None else None
@@ -131,6 +309,15 @@ class ParallelRunner:
             pathlib.Path(series_dir) if series_dir is not None else None
         )
         self.progress = progress
+        #: live telemetry + registry configuration
+        self.telemetry = telemetry
+        self.stall_timeout_s = stall_timeout_s
+        self.stall_retry = stall_retry
+        self.heartbeat_s = heartbeat_s
+        self.progress_every = progress_every
+        self.registry = (
+            RunRegistry(self.runs_dir) if self.runs_dir is not None else None
+        )
         #: cumulative counters across all batches of this runner
         self.cache_hits = 0
         self.cache_misses = 0
@@ -138,6 +325,10 @@ class ParallelRunner:
         #: manifest payload and path of the most recent batch
         self.last_batch: typing.Optional[typing.Dict[str, typing.Any]] = None
         self.last_manifest_path: typing.Optional[pathlib.Path] = None
+        #: batch id and per-cell failures of the most recent batch
+        self.last_batch_id: typing.Optional[str] = None
+        self.last_failures: typing.Dict[int, str] = {}
+        self._git_sha = _git_sha()
         self._session = f"{time.strftime('%Y%m%d-%H%M%S')}-{os.getpid()}"
         self._batch_seq = 0
 
@@ -150,9 +341,20 @@ class ParallelRunner:
     def run_batch(
         self, specs: typing.Sequence[RunSpec], label: str = "batch"
     ) -> typing.List[SimulationResult]:
-        """Execute ``specs``, returning results in input order."""
+        """Execute ``specs``, returning results in input order.
+
+        A cell whose worker *process died* (and, with retry exhausted,
+        a stalled cell) yields ``None`` at its position instead of
+        aborting the batch -- ``last_failures`` and the manifest record
+        why, and the batch status becomes ``partial``.  An ordinary
+        exception raised by a run still fails the batch fast (it is
+        deterministic; retrying cannot help), after writing a manifest
+        marked ``failed``.
+        """
         specs = list(specs)
         started = time.time()
+        batch_id = self._next_batch_id()
+        self.last_failures = {}
         results: typing.List[typing.Optional[SimulationResult]] = (
             [None] * len(specs)
         )
@@ -177,30 +379,64 @@ class ParallelRunner:
         self.cache_hits += hits
         self.cache_misses += len(specs) - hits
 
+        tele = self._open_telemetry(batch_id, label, specs, keys, "sweep")
+        if tele is not None:
+            for index, flag in enumerate(cached_flags):
+                if flag:
+                    tele.mark_cached(index)
+        self._register(batch_id, label, "sweep", keys, "running", tele=tele)
+
         done = hits
-        self._emit(RunEvent("batch-start", label, done, len(specs)))
-        for index, result, elapsed_s in self._execute(specs, pending):
-            if self.cache is not None:
-                self.cache.put(specs[index], result)
-            for twin in by_key[keys[index]]:
-                results[twin] = result
-            done += len(by_key[keys[index]])
+        status = "complete"
+        try:
+            self._emit(RunEvent("batch-start", label, done, len(specs)))
+            for index, result, elapsed_s in self._execute(
+                specs, pending, tele
+            ):
+                if self.cache is not None:
+                    self.cache.put(specs[index], result)
+                for twin in by_key[keys[index]]:
+                    results[twin] = result
+                if tele is not None:
+                    for twin in by_key[keys[index]][1:]:
+                        tele.mark_coalesced(twin)
+                done += len(by_key[keys[index]])
+                self._emit(
+                    RunEvent(
+                        "run-done",
+                        label,
+                        done,
+                        len(specs),
+                        spec=specs[index],
+                        elapsed_s=elapsed_s,
+                    )
+                )
+            if self.last_failures:
+                status = "partial"
+        except KeyboardInterrupt:
+            status = "interrupted"
+            raise
+        except BaseException:
+            status = "failed"
+            raise
+        finally:
+            wall_s = time.time() - started
+            self.runs_completed += len(specs)
+            self._write_manifest(
+                label, specs, keys, cached_flags, wall_s,
+                batch_id=batch_id, status=status, results=results, tele=tele,
+            )
+            if tele is not None:
+                tele.finish(status, wall_s)
+            self._register(
+                batch_id, label, "sweep", keys, status,
+                wall_s=wall_s, tele=tele,
+            )
             self._emit(
                 RunEvent(
-                    "run-done",
-                    label,
-                    done,
-                    len(specs),
-                    spec=specs[index],
-                    elapsed_s=elapsed_s,
+                    "batch-done", label, done, len(specs), elapsed_s=wall_s
                 )
             )
-        wall_s = time.time() - started
-        self.runs_completed += len(specs)
-        self._emit(
-            RunEvent("batch-done", label, done, len(specs), elapsed_s=wall_s)
-        )
-        self._write_manifest(label, specs, keys, cached_flags, wall_s)
         return typing.cast(typing.List[SimulationResult], results)
 
     def run_bench(
@@ -215,37 +451,109 @@ class ParallelRunner:
         spec is simulated afresh (a cache hit takes no wall time and
         would report infinite speed).  Rows come from
         :func:`~repro.runner.worker.execute_bench` (best of
-        ``repeats``).
+        ``repeats``).  With ``telemetry=True`` bench cells emit the
+        same lifecycle records as sweep cells (heartbeats add one
+        guarded check every ``progress_every`` events to the measured
+        loop).
         """
         specs = list(specs)
         started = time.time()
+        batch_id = self._next_batch_id()
+        self.last_failures = {}
+        keys = [spec.cache_key() for spec in specs]
         rows: typing.List[typing.Optional[typing.Dict[str, typing.Any]]] = (
             [None] * len(specs)
         )
+        tele = self._open_telemetry(batch_id, label, specs, keys, "bench")
+        self._register(batch_id, label, "bench", keys, "running", tele=tele)
         self._emit(RunEvent("batch-start", label, 0, len(specs)))
         done = 0
-        workers = min(self.pool_size, len(specs)) if specs else 0
-        if workers <= 1:
-            for index, spec in enumerate(specs):
-                run_started = time.time()
-                rows[index] = execute_bench(spec, repeats=repeats)
-                done += 1
-                self._emit(RunEvent(
-                    "run-done", label, done, len(specs), spec=spec,
-                    elapsed_s=time.time() - run_started,
-                ))
-        else:
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=workers
-            ) as pool:
-                futures = [
-                    pool.submit(
-                        execute_bench_indexed, (index, spec, repeats)
+        status = "complete"
+        try:
+            workers = min(self.pool_size, len(specs)) if specs else 0
+            if workers <= 1:
+                for index, spec in enumerate(specs):
+                    run_started = time.time()
+                    context = (
+                        tele.inline_worker(index) if tele is not None else None
                     )
-                    for index, spec in enumerate(specs)
-                ]
-                for future in concurrent.futures.as_completed(futures):
-                    index, row = future.result()
+                    rows[index] = execute_bench(
+                        spec, repeats=repeats, telemetry=context
+                    )
+                    done += 1
+                    self._emit(RunEvent(
+                        "run-done", label, done, len(specs), spec=spec,
+                        elapsed_s=time.time() - run_started,
+                    ))
+                    if tele is not None:
+                        tele.tick()
+            else:
+                done = self._run_bench_pool(
+                    specs, repeats, workers, label, rows, tele, started
+                )
+        except KeyboardInterrupt:
+            status = "interrupted"
+            raise
+        except BaseException:
+            status = "failed"
+            raise
+        finally:
+            wall_s = time.time() - started
+            self.runs_completed += len(specs)
+            if tele is not None:
+                tele.finish(status, wall_s)
+            self._register(
+                batch_id, label, "bench", keys, status,
+                wall_s=wall_s, tele=tele,
+            )
+            self._emit(
+                RunEvent(
+                    "batch-done", label, done, len(specs), elapsed_s=wall_s
+                )
+            )
+        return typing.cast(
+            typing.List[typing.Dict[str, typing.Any]], rows
+        )
+
+    def _run_bench_pool(
+        self,
+        specs: typing.Sequence[RunSpec],
+        repeats: int,
+        workers: int,
+        label: str,
+        rows: typing.List[typing.Optional[typing.Dict[str, typing.Any]]],
+        tele: typing.Optional[_BatchTelemetry],
+        started: float,
+    ) -> int:
+        """The pooled half of :meth:`run_bench`; returns the done count."""
+        done = 0
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+        try:
+            inflight = {
+                pool.submit(
+                    execute_bench_indexed,
+                    (
+                        index,
+                        spec,
+                        repeats,
+                        tele.worker_context(index)
+                        if tele is not None
+                        else None,
+                    ),
+                ): index
+                for index, spec in enumerate(specs)
+            }
+            while inflight:
+                ready, _ = concurrent.futures.wait(
+                    list(inflight),
+                    timeout=(
+                        _BatchTelemetry.POLL_S if tele is not None else None
+                    ),
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for future in ready:
+                    index = inflight.pop(future)
+                    _index, row = future.result()
                     rows[index] = row
                     done += 1
                     self._emit(RunEvent(
@@ -253,22 +561,28 @@ class ParallelRunner:
                         spec=specs[index],
                         elapsed_s=time.time() - started,
                     ))
-        wall_s = time.time() - started
-        self.runs_completed += len(specs)
-        self._emit(
-            RunEvent("batch-done", label, done, len(specs), elapsed_s=wall_s)
-        )
-        return typing.cast(
-            typing.List[typing.Dict[str, typing.Any]], rows
-        )
+                if tele is not None:
+                    tele.tick()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return done
 
     # -- execution ----------------------------------------------------------
 
     def _execute(
-        self, specs: typing.Sequence[RunSpec], pending: typing.Sequence[int]
+        self,
+        specs: typing.Sequence[RunSpec],
+        pending: typing.Sequence[int],
+        tele: typing.Optional[_BatchTelemetry],
     ) -> typing.Iterator[typing.Tuple[int, SimulationResult, float]]:
-        """Yield ``(index, result, elapsed_s)`` for every pending index."""
+        """Yield ``(index, result, elapsed_s)`` for every pending index.
+
+        Indices that fail (worker death, exhausted stall retry) are
+        recorded in ``last_failures`` instead of being yielded.
+        """
         if not pending:
+            if tele is not None:
+                tele.tick(force=True)
             return
         traces_dir: typing.Optional[str] = None
         if self.traces_dir is not None and any(
@@ -284,29 +598,270 @@ class ParallelRunner:
             series_dir = str(self.series_dir)
         workers = min(self.pool_size, len(pending))
         if workers == 1:
-            for index in pending:
-                run_started = time.time()
-                yield index, execute_spec(
+            yield from self._execute_inline(
+                specs, pending, traces_dir, series_dir, tele
+            )
+        else:
+            yield from self._execute_pool(
+                specs, pending, traces_dir, series_dir, tele, workers
+            )
+        if tele is not None:
+            tele.tick(force=True)
+
+    def _execute_inline(
+        self,
+        specs: typing.Sequence[RunSpec],
+        pending: typing.Sequence[int],
+        traces_dir: typing.Optional[str],
+        series_dir: typing.Optional[str],
+        tele: typing.Optional[_BatchTelemetry],
+    ) -> typing.Iterator[typing.Tuple[int, SimulationResult, float]]:
+        """Serial path: run in-process (stalls cannot self-detect here)."""
+        for index in pending:
+            run_started = time.time()
+            context = tele.inline_worker(index) if tele is not None else None
+            try:
+                result = execute_spec(
                     specs[index], traces_dir=traces_dir,
-                    series_dir=series_dir,
-                ), (time.time() - run_started)
-            return
-        batch_started = time.time()
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers
-        ) as pool:
-            futures = [
-                pool.submit(
-                    execute_indexed,
-                    (index, specs[index], traces_dir, series_dir),
+                    series_dir=series_dir, telemetry=context,
                 )
-                for index in pending
-            ]
-            for future in concurrent.futures.as_completed(futures):
-                index, result = future.result()
-                # per-run wall time is unobservable from here; report the
-                # time since the batch started (monotone, still useful)
-                yield index, result, time.time() - batch_started
+            except Exception as exc:
+                self._record_failure(
+                    index, f"{type(exc).__name__}: {exc}", tele, emit=False
+                )
+                raise
+            yield index, result, time.time() - run_started
+            if tele is not None:
+                tele.tick()
+
+    def _execute_pool(
+        self,
+        specs: typing.Sequence[RunSpec],
+        pending: typing.Sequence[int],
+        traces_dir: typing.Optional[str],
+        series_dir: typing.Optional[str],
+        tele: typing.Optional[_BatchTelemetry],
+        workers: int,
+    ) -> typing.Iterator[typing.Tuple[int, SimulationResult, float]]:
+        """Pool path with telemetry ticks, stall kills and death triage.
+
+        The loop never blocks indefinitely on a future: with telemetry
+        it waits at most ``POLL_S`` between ticks, and a stalled worker
+        is killed, which breaks the pool and surfaces every in-flight
+        future as ``BrokenProcessPool`` for triage (retry the stalled
+        cell once, resubmit innocent bystanders, fail the rest).
+        """
+        remaining = list(pending)
+        retried: typing.Set[int] = set()
+        killed: typing.Set[int] = set()
+        batch_started = time.time()
+        while remaining:
+            # cells on their second attempt run one per (single-worker)
+            # pool round: if one is a deterministic crasher it can only
+            # take itself down, never a fellow retry
+            isolate = [cell for cell in remaining if cell in retried]
+            if isolate:
+                submit = [isolate[0]]
+                remaining = [c for c in remaining if c != isolate[0]]
+            else:
+                submit, remaining = remaining, []
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(workers, len(submit))
+            )
+            inflight: typing.Dict[concurrent.futures.Future, int] = {}
+            try:
+                for index in submit:
+                    context = (
+                        tele.worker_context(index) if tele is not None else None
+                    )
+                    inflight[pool.submit(
+                        execute_indexed,
+                        (index, specs[index], traces_dir, series_dir, context),
+                    )] = index
+                while inflight:
+                    ready, _ = concurrent.futures.wait(
+                        list(inflight),
+                        timeout=(
+                            _BatchTelemetry.POLL_S
+                            if tele is not None
+                            else None
+                        ),
+                        return_when=concurrent.futures.FIRST_COMPLETED,
+                    )
+                    breakage: typing.Optional[BaseException] = None
+                    casualties: typing.List[int] = []
+                    for future in ready:
+                        index = inflight.pop(future)
+                        try:
+                            _index, result = future.result()
+                        except concurrent.futures.process.BrokenProcessPool as exc:
+                            breakage = exc
+                            casualties.append(index)
+                        except Exception as exc:
+                            # a deterministic worker exception: record it
+                            # (the worker already emitted run.error with
+                            # traceback) and fail fast -- unlike a death
+                            # or stall, retrying cannot help
+                            self._record_failure(
+                                index,
+                                f"{type(exc).__name__}: {exc}",
+                                tele,
+                                emit=False,
+                            )
+                            raise
+                        else:
+                            killed.discard(index)
+                            yield (
+                                index, result, time.time() - batch_started
+                            )
+                    if breakage is not None:
+                        casualties.extend(inflight.values())
+                        inflight.clear()
+                        self._triage_casualties(
+                            casualties, killed, retried, remaining,
+                            breakage, tele,
+                        )
+                        killed.clear()
+                        break  # rebuild the pool for whatever remains
+                    if tele is not None:
+                        for cell in tele.tick():
+                            killed.add(cell)
+                            self._kill_worker(tele.status.pid_of(cell), pool)
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    def _triage_casualties(
+        self,
+        casualties: typing.Sequence[int],
+        killed: typing.Set[int],
+        retried: typing.Set[int],
+        remaining: typing.List[int],
+        breakage: BaseException,
+        tele: typing.Optional[_BatchTelemetry],
+    ) -> None:
+        """Decide each broken-pool casualty's fate: retry, requeue, fail."""
+        for cell in casualties:
+            if cell in killed:
+                if self.stall_retry and cell not in retried:
+                    retried.add(cell)
+                    remaining.append(cell)
+                    if tele is not None:
+                        tele.retry(cell, attempt=2)
+                else:
+                    self._record_failure(
+                        cell,
+                        "stalled: no heartbeat for "
+                        f"{self.stall_timeout_s}s (worker killed)",
+                        tele,
+                    )
+            elif killed:
+                # innocent bystander of a stall kill: resubmit, no
+                # retry charge (its own stall would be its own kill)
+                remaining.append(cell)
+            elif cell not in retried:
+                # unexpected death (OOM kill, segfault): every casualty
+                # is suspect and innocent alike -- each gets exactly one
+                # resubmission, so a deterministic crasher fails on its
+                # second attempt while bystanders get to finish
+                retried.add(cell)
+                remaining.append(cell)
+                if tele is not None:
+                    tele.retry(cell, attempt=2)
+            else:
+                self._record_failure(
+                    cell, f"worker died abruptly: {breakage}", tele
+                )
+
+    def _record_failure(
+        self,
+        index: int,
+        message: str,
+        tele: typing.Optional[_BatchTelemetry],
+        emit: bool = True,
+    ) -> None:
+        self.last_failures[index] = message
+        if tele is not None and emit:
+            tele.fail(index, message)
+
+    @staticmethod
+    def _kill_worker(
+        pid: typing.Optional[int],
+        pool: concurrent.futures.ProcessPoolExecutor,
+    ) -> None:
+        """Kill a stalled worker (breaking the pool deliberately)."""
+        if pid is not None:
+            try:
+                os.kill(pid, getattr(signal, "SIGKILL", signal.SIGTERM))
+                return
+            except OSError:
+                pass  # already gone; the pool will notice either way
+        # pid unknown (no run.start yet): take the pool down so the
+        # batch can triage and continue rather than hang forever
+        for process in list(getattr(pool, "_processes", {}).values()):
+            process.terminate()
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _next_batch_id(self) -> str:
+        self._batch_seq += 1
+        batch_id = f"{self._session}-b{self._batch_seq:03d}"
+        self.last_batch_id = batch_id
+        return batch_id
+
+    def _open_telemetry(
+        self,
+        batch_id: str,
+        label: str,
+        specs: typing.Sequence[RunSpec],
+        keys: typing.Sequence[str],
+        kind: str,
+    ) -> typing.Optional[_BatchTelemetry]:
+        if not self.telemetry or self.runs_dir is None:
+            return None
+        return _BatchTelemetry(
+            self.runs_dir, batch_id, label, specs, keys, kind,
+            heartbeat_s=self.heartbeat_s,
+            progress_every=self.progress_every,
+            stall_timeout_s=self.stall_timeout_s,
+        )
+
+    def _register(
+        self,
+        batch_id: str,
+        label: str,
+        kind: str,
+        keys: typing.Sequence[str],
+        status: str,
+        wall_s: typing.Optional[float] = None,
+        tele: typing.Optional[_BatchTelemetry] = None,
+    ) -> None:
+        if self.registry is None:
+            return
+        entry = {
+            "batch": batch_id,
+            "label": label,
+            "kind": kind,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "git_sha": self._git_sha,
+            "status": status,
+            "total": len(keys),
+            "failed": len(self.last_failures),
+            "digest": spec_digest(keys),
+            "wall_s": round(wall_s, 3) if wall_s is not None else None,
+            "manifest": (
+                str(self.last_manifest_path)
+                if self.last_manifest_path is not None and wall_s is not None
+                else None
+            ),
+            "telemetry": str(tele.path) if tele is not None else None,
+            "status_file": (
+                str(tele.status_path) if tele is not None else None
+            ),
+        }
+        try:
+            self.registry.record(entry)
+        except OSError:
+            pass  # the registry is an index, never worth failing a batch
 
     # -- manifest -----------------------------------------------------------
 
@@ -317,34 +872,67 @@ class ParallelRunner:
         keys: typing.Sequence[str],
         cached_flags: typing.Sequence[bool],
         wall_s: float,
+        batch_id: str,
+        status: str = "complete",
+        results: typing.Optional[
+            typing.Sequence[typing.Optional[SimulationResult]]
+        ] = None,
+        tele: typing.Optional[_BatchTelemetry] = None,
     ) -> None:
-        self._batch_seq += 1
         hits = sum(cached_flags)
         simulated = len({k for k, c in zip(keys, cached_flags) if not c})
+        failed_keys = {
+            keys[index]: message
+            for index, message in self.last_failures.items()
+        }
+
+        def run_status(index: int) -> str:
+            if cached_flags[index]:
+                return "cached"
+            if keys[index] in failed_keys:
+                return "failed"
+            if results is not None and results[index] is not None:
+                return "done"
+            return "pending"
+
         payload = {
             "label": label,
             "session": self._session,
             "batch": self._batch_seq,
+            "batch_id": batch_id,
+            "status": status,
             "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-            "git_sha": _git_sha(),
+            "git_sha": self._git_sha,
             "pool_size": self.pool_size,
             "wall_s": round(wall_s, 3),
+            "telemetry": str(tele.path) if tele is not None else None,
+            "status_file": (
+                str(tele.status_path) if tele is not None else None
+            ),
             "counts": {
                 "total": len(specs),
                 "cache_hits": hits,
                 "cache_misses": len(specs) - hits,
                 "simulated": simulated,
                 "coalesced": (len(specs) - hits) - simulated,
+                "failed": sum(
+                    1 for index in range(len(specs))
+                    if run_status(index) == "failed"
+                ),
             },
             "runs": [
                 {
                     "key": key,
                     "cached": cached,
+                    "status": run_status(index),
+                    "error": failed_keys.get(key),
                     "spec": spec.to_dict(),
                     "trace_artifact": self._trace_artifact(spec),
                     "series_artifact": self._series_artifact(spec),
                 }
-                for spec, key, cached in zip(specs, keys, cached_flags)
+                for index, (spec, key, cached) in enumerate(
+                    zip(specs, keys, cached_flags)
+                )
             ],
         }
         self.last_batch = payload
@@ -352,10 +940,20 @@ class ParallelRunner:
         if self.runs_dir is None:
             return
         self.runs_dir.mkdir(parents=True, exist_ok=True)
-        name = f"{self._session}-b{self._batch_seq:03d}-{_slug(label)}.json"
+        name = f"{batch_id}-{_slug(label)}.json"
         path = self.runs_dir / name
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.runs_dir), prefix=".manifest.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(payload, indent=1, sort_keys=True))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         os.replace(tmp, path)
         self.last_manifest_path = path
 
@@ -399,6 +997,8 @@ def default_runner(
     series_dir: typing.Optional[typing.Union[str, pathlib.Path]] = (
         "results/series"
     ),
+    telemetry: bool = False,
+    stall_timeout_s: typing.Optional[float] = None,
 ) -> ParallelRunner:
     """A runner with the conventional on-disk layout under ``results/``."""
     cache = ResultCache(cache_dir) if cache_dir is not None else None
@@ -409,4 +1009,6 @@ def default_runner(
         progress=progress,
         traces_dir=traces_dir,
         series_dir=series_dir,
+        telemetry=telemetry,
+        stall_timeout_s=stall_timeout_s,
     )

@@ -16,10 +16,17 @@ without coordination.
 bench``: it runs the spec with the wall-clock self-profiler attached
 and returns simulator speed (events/second, wall per simulated second)
 plus the per-phase breakdown instead of a cached model result.
+
+When the runner hands a job a :class:`~repro.obs.telemetry.WorkerTelemetry`
+context, the worker emits ``run.start`` immediately (so the parent
+learns its pid), heartbeats through the engine's progress hook while
+simulating, and ``run.done`` / ``run.error`` (with traceback) on exit;
+telemetry never changes the returned result.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 import time
 import typing
@@ -27,10 +34,32 @@ import typing
 from repro.obs.export import write_jsonl
 from repro.obs.profile import PhaseProfiler
 from repro.obs.recorder import MemoryRecorder
+from repro.obs.telemetry import WorkerTelemetry
 from repro.obs.timeseries import TimeSeriesSampler, write_series_json
 from repro.runner.spec import RunSpec
 from repro.sim.metrics import SimulationResult
 from repro.sim.simulation import Simulation
+
+#: test hook (stall-detection tests only): ``"cell:seconds[,...]"`` makes
+#: the named cells sleep -- heartbeat-free -- right after ``run.start``,
+#: so the parent's stall detector fires deterministically
+STALL_TEST_ENV = "REPRO_RUNNER_TEST_STALL"
+#: test hook (broken-pool tests only): ``"cell[,...]"`` makes the named
+#: cells kill their worker process abruptly after ``run.start``
+EXIT_TEST_ENV = "REPRO_RUNNER_TEST_EXIT"
+
+
+def _apply_test_hooks(cell: int) -> None:
+    """Honour the stall/death test hooks (telemetry-context runs only)."""
+    stall = os.environ.get(STALL_TEST_ENV, "")
+    for part in stall.split(","):
+        if ":" in part:
+            target, seconds = part.split(":", 1)
+            if target.strip() == str(cell):
+                time.sleep(float(seconds))
+    exits = os.environ.get(EXIT_TEST_ENV, "")
+    if any(part.strip() == str(cell) for part in exits.split(",") if part):
+        os._exit(66)  # simulate an abrupt worker death (OOM kill etc.)
 
 #: sample interval of runner-produced series artifacts (simulated ms);
 #: fixed so equal specs always produce identical artifacts
@@ -65,56 +94,81 @@ def execute_spec(
     spec: RunSpec,
     traces_dir: typing.Optional[typing.Union[str, pathlib.Path]] = None,
     series_dir: typing.Optional[typing.Union[str, pathlib.Path]] = None,
+    telemetry: typing.Optional[WorkerTelemetry] = None,
 ) -> SimulationResult:
     """Run the simulation a spec describes; pure given the spec.
 
-    Tracing and sampling observe without perturbing, so the returned
-    result is byte-identical whatever combination of ``spec.trace`` /
-    ``spec.timeseries`` is set; only the artifacts on disk differ.
+    Tracing, sampling and telemetry observe without perturbing, so the
+    returned result is byte-identical whatever combination of
+    ``spec.trace`` / ``spec.timeseries`` / ``telemetry`` is set; only
+    the artifacts on disk differ.
     """
-    recorder = MemoryRecorder() if spec.trace else None
-    sampler = (
-        TimeSeriesSampler(interval_ms=SERIES_INTERVAL_MS)
-        if spec.timeseries
-        else None
-    )
-    result = Simulation(
-        spec.config,
-        spec.workload.build(),
-        scheduler=spec.scheduler,
-        seed=spec.seed,
-        duration_ms=spec.duration_ms,
-        warmup_ms=spec.warmup_ms,
-        recorder=recorder,
-        sampler=sampler,
-    ).run()
-    if recorder is not None and traces_dir is not None:
-        write_jsonl(
-            recorder.events, trace_artifact_path(traces_dir, spec),
-            meta=_spec_meta(spec), dropped=recorder.dropped,
+    if telemetry is not None:
+        telemetry.start()
+        _apply_test_hooks(telemetry.cell)
+    started = time.perf_counter()
+    try:
+        recorder = MemoryRecorder() if spec.trace else None
+        sampler = (
+            TimeSeriesSampler(interval_ms=SERIES_INTERVAL_MS)
+            if spec.timeseries
+            else None
         )
-    if sampler is not None and series_dir is not None:
-        write_series_json(
-            sampler, series_artifact_path(series_dir, spec),
-            meta=_spec_meta(spec),
+        simulation = Simulation(
+            spec.config,
+            spec.workload.build(),
+            scheduler=spec.scheduler,
+            seed=spec.seed,
+            duration_ms=spec.duration_ms,
+            warmup_ms=spec.warmup_ms,
+            recorder=recorder,
+            sampler=sampler,
+        )
+        if telemetry is not None:
+            telemetry.install(simulation.env)
+        result = simulation.run()
+        if recorder is not None and traces_dir is not None:
+            write_jsonl(
+                recorder.events, trace_artifact_path(traces_dir, spec),
+                meta=_spec_meta(spec), dropped=recorder.dropped,
+            )
+        if sampler is not None and series_dir is not None:
+            write_series_json(
+                sampler, series_artifact_path(series_dir, spec),
+                meta=_spec_meta(spec),
+            )
+    except BaseException as exc:
+        if telemetry is not None:
+            telemetry.error(exc)
+        raise
+    if telemetry is not None:
+        telemetry.done(
+            time.perf_counter() - started, simulation.env.events_processed
         )
     return result
 
 
 def execute_indexed(
     job: typing.Tuple[
-        int, RunSpec, typing.Optional[str], typing.Optional[str]
+        int,
+        RunSpec,
+        typing.Optional[str],
+        typing.Optional[str],
+        typing.Optional[WorkerTelemetry],
     ],
 ) -> typing.Tuple[int, SimulationResult]:
     """Pool-friendly wrapper carrying the batch index through the pool."""
-    index, spec, traces_dir, series_dir = job
+    index, spec, traces_dir, series_dir, telemetry = job
     return index, execute_spec(
-        spec, traces_dir=traces_dir, series_dir=series_dir
+        spec, traces_dir=traces_dir, series_dir=series_dir,
+        telemetry=telemetry,
     )
 
 
 def execute_bench(
-    spec: RunSpec, repeats: int = 1
+    spec: RunSpec,
+    repeats: int = 1,
+    telemetry: typing.Optional[WorkerTelemetry] = None,
 ) -> typing.Dict[str, typing.Any]:
     """Run ``spec`` as a perf measurement: speed + phase breakdown.
 
@@ -128,6 +182,29 @@ def execute_bench(
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if telemetry is not None:
+        telemetry.start()
+        _apply_test_hooks(telemetry.cell)
+    bench_started = time.perf_counter()
+    try:
+        best = _bench_repeats(spec, repeats, telemetry)
+    except BaseException as exc:
+        if telemetry is not None:
+            telemetry.error(exc)
+        raise
+    if telemetry is not None:
+        telemetry.done(
+            time.perf_counter() - bench_started, best["events"]
+        )
+    return best
+
+
+def _bench_repeats(
+    spec: RunSpec,
+    repeats: int,
+    telemetry: typing.Optional[WorkerTelemetry],
+) -> typing.Dict[str, typing.Any]:
+    """Best-of-``repeats`` measurement loop of :func:`execute_bench`."""
     best: typing.Optional[typing.Dict[str, typing.Any]] = None
     for _ in range(repeats):
         profiler = PhaseProfiler()
@@ -140,6 +217,8 @@ def execute_bench(
             warmup_ms=spec.warmup_ms,
             profiler=profiler,
         )
+        if telemetry is not None:
+            telemetry.install(simulation.env)
         started = time.perf_counter()
         result = simulation.run()
         wall_s = time.perf_counter() - started
@@ -170,8 +249,10 @@ def execute_bench(
 
 
 def execute_bench_indexed(
-    job: typing.Tuple[int, RunSpec, int],
+    job: typing.Tuple[
+        int, RunSpec, int, typing.Optional[WorkerTelemetry]
+    ],
 ) -> typing.Tuple[int, typing.Dict[str, typing.Any]]:
     """Pool-friendly wrapper for :func:`execute_bench`."""
-    index, spec, repeats = job
-    return index, execute_bench(spec, repeats=repeats)
+    index, spec, repeats, telemetry = job
+    return index, execute_bench(spec, repeats=repeats, telemetry=telemetry)

@@ -93,3 +93,50 @@ class TestResultCache:
         key = make_spec().cache_key()
         assert path.parent.name == key[:2]
         assert path.name == f"{key}.json"
+
+
+class TestConcurrentWriters:
+    def test_racing_threads_never_produce_torn_reads(self, tmp_path):
+        """Many writers, one key: every read sees a complete entry."""
+        import threading
+
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        errors = []
+
+        def writer(completed):
+            try:
+                for _ in range(20):
+                    cache.put(spec, make_result(completed=completed))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def reader():
+            try:
+                for _ in range(100):
+                    result = cache.get(spec)
+                    # a miss before the first write is fine; a torn
+                    # entry would raise inside get() -> None here means
+                    # either absent or complete, never partial JSON
+                    if result is not None:
+                        assert result.completed in (5, 6, 7)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(c,)) for c in (5, 6, 7)
+        ] + [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert cache.get(spec).completed in (5, 6, 7)
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(make_spec(), make_result())
+        leftovers = [
+            p for p in path.parent.iterdir() if p.suffix == ".tmp"
+        ]
+        assert leftovers == []

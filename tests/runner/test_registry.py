@@ -1,0 +1,116 @@
+"""Unit tests for the persistent run registry."""
+
+import json
+
+import pytest
+
+from repro.runner import REGISTRY_FILENAME, RunRegistry, spec_digest
+
+
+def entry(batch, **fields):
+    record = {"batch": batch, "label": "sweep", "status": "running"}
+    record.update(fields)
+    return record
+
+
+class TestRecordAndEntries:
+    def test_append_and_read_back(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record(entry("b1"))
+        registry.record(entry("b2", label="other"))
+        assert [e["batch"] for e in registry.entries()] == ["b1", "b2"]
+        assert registry.path == tmp_path / REGISTRY_FILENAME
+        assert len(registry) == 2
+
+    def test_latest_record_per_batch_wins(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record(entry("b1", status="running"))
+        registry.record(entry("b2", status="running"))
+        registry.record(entry("b1", status="complete", wall_s=3.5))
+        entries = registry.entries()
+        # first-seen order is kept, but the terminal record replaces
+        # the running one
+        assert [e["batch"] for e in entries] == ["b1", "b2"]
+        assert entries[0]["status"] == "complete"
+        assert entries[0]["wall_s"] == 3.5
+
+    def test_requires_batch_id(self, tmp_path):
+        with pytest.raises(ValueError):
+            RunRegistry(tmp_path).record({"label": "x"})
+
+    def test_missing_file_means_no_entries(self, tmp_path):
+        registry = RunRegistry(tmp_path / "nope")
+        assert registry.entries() == []
+        assert len(registry) == 0
+
+    def test_torn_tail_line_is_tolerated(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record(entry("b1"))
+        with registry.path.open("a") as handle:
+            handle.write('{"batch": "b2", "status"')  # a writer mid-line
+        assert [e["batch"] for e in registry.entries()] == ["b1"]
+
+    def test_non_object_lines_are_skipped(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record(entry("b1"))
+        with registry.path.open("a") as handle:
+            handle.write(json.dumps([1, 2]) + "\n")
+            handle.write(json.dumps({"no_batch": True}) + "\n")
+        assert [e["batch"] for e in registry.entries()] == ["b1"]
+
+
+class TestFind:
+    def _populated(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record(entry("20260101-120000-1-b001", label="alpha"))
+        registry.record(entry("20260101-120000-1-b002", label="beta"))
+        registry.record(entry("20260202-130000-2-b001", label="gamma"))
+        return registry
+
+    def test_latest_and_empty_token(self, tmp_path):
+        registry = self._populated(tmp_path)
+        assert registry.find("latest")["label"] == "gamma"
+        assert registry.find("last")["label"] == "gamma"
+        assert registry.find("")["label"] == "gamma"
+        assert registry.find()["label"] == "gamma"
+
+    def test_exact_id(self, tmp_path):
+        registry = self._populated(tmp_path)
+        assert (
+            registry.find("20260101-120000-1-b002")["label"] == "beta"
+        )
+
+    def test_unique_prefix(self, tmp_path):
+        registry = self._populated(tmp_path)
+        assert registry.find("20260202")["label"] == "gamma"
+
+    def test_label_substring(self, tmp_path):
+        registry = self._populated(tmp_path)
+        assert (
+            registry.find("bet")["batch"] == "20260101-120000-1-b002"
+        )
+
+    def test_ambiguous_prefix_raises_with_candidates(self, tmp_path):
+        registry = self._populated(tmp_path)
+        with pytest.raises(LookupError, match="ambiguous"):
+            registry.find("20260101")
+
+    def test_no_match_raises_with_recent_ids(self, tmp_path):
+        registry = self._populated(tmp_path)
+        with pytest.raises(LookupError, match="no batch matches"):
+            registry.find("zzz")
+
+    def test_empty_registry_raises(self, tmp_path):
+        with pytest.raises(LookupError, match="no batches registered"):
+            RunRegistry(tmp_path).find("latest")
+
+    def test_batch_dir_layout(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        assert registry.batch_dir("b9") == tmp_path / "b9"
+
+
+class TestSpecDigest:
+    def test_stable_and_order_sensitive(self):
+        assert spec_digest(["a", "b"]) == spec_digest(["a", "b"])
+        assert spec_digest(["a", "b"]) != spec_digest(["b", "a"])
+        assert len(spec_digest(["a"])) == 16

@@ -264,3 +264,100 @@ class TestBenchCommand:
     def test_bad_repeats_rejected(self):
         with pytest.raises(SystemExit):
             main(["bench", "--repeats", "0", "--duration", "1000"])
+
+
+class TestTelemetryCommands:
+    def _sweep(self, tmp_path, capsys):
+        assert main([
+            "sweep", "NODC,C2PL", "--rates", "0.4",
+            "--duration", "20000", "--warmup", "0",
+            "--cache-dir", "", "--runs-dir", str(tmp_path / "runs"),
+            "--pool", "2", "--telemetry",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry: batch" in out
+        return out
+
+    def test_sweep_telemetry_then_watch_once(self, tmp_path, capsys):
+        self._sweep(tmp_path, capsys)
+        assert main([
+            "watch", "latest", "--once",
+            "--runs-dir", str(tmp_path / "runs"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out
+        assert "100.0%" in out
+        assert "2/2 finished" in out
+
+    def test_runs_list_and_show(self, tmp_path, capsys):
+        self._sweep(tmp_path, capsys)
+        assert main([
+            "runs", "list", "--runs-dir", str(tmp_path / "runs"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cli-sweep" in out
+        assert "complete" in out
+        assert main([
+            "runs", "show", "latest",
+            "--runs-dir", str(tmp_path / "runs"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert '"status": "complete"' in out
+        assert "telemetry.jsonl" in out
+
+    def test_tail_once_prints_validated_records(self, tmp_path, capsys):
+        self._sweep(tmp_path, capsys)
+        assert main([
+            "tail", "latest", "--once",
+            "--runs-dir", str(tmp_path / "runs"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "batch.meta" in out
+        assert "run.done" in out
+        assert "batch.done" in out
+
+    def test_watch_unknown_batch_fails_cleanly(self, tmp_path, capsys):
+        assert main([
+            "watch", "nope", "--once",
+            "--runs-dir", str(tmp_path / "runs"),
+        ]) == 1
+        assert "ERROR" in capsys.readouterr().err
+
+    def test_watch_batch_without_telemetry_fails_cleanly(
+        self, tmp_path, capsys
+    ):
+        assert main([
+            "sweep", "NODC", "--rates", "0.4",
+            "--duration", "20000", "--warmup", "0",
+            "--cache-dir", "", "--runs-dir", str(tmp_path / "runs"),
+            "--pool", "1",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "watch", "latest", "--once",
+            "--runs-dir", str(tmp_path / "runs"),
+        ]) == 1
+        assert "without" in capsys.readouterr().err
+
+    def test_sweep_telemetry_needs_runs_dir(self):
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", "NODC", "--rates", "0.4",
+                "--duration", "20000", "--warmup", "0",
+                "--runs-dir", "", "--telemetry",
+            ])
+
+    def test_bench_telemetry_links_batch(self, tmp_path, capsys):
+        out_path = tmp_path / "bench.json"
+        assert main([
+            "bench", "--duration", "5000", "--repeats", "1",
+            "--out", str(tmp_path), "--output", str(out_path),
+            "--telemetry", "--runs-dir", str(tmp_path / "runs"),
+        ]) == 0
+        payload = load_bench_json(out_path)
+        assert payload.get("batch")
+        capsys.readouterr()
+        assert main([
+            "runs", "list", "--runs-dir", str(tmp_path / "runs"),
+        ]) == 0
+        assert "bench" in capsys.readouterr().out
