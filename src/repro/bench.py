@@ -48,6 +48,20 @@ BENCH_MATRIX: typing.Tuple[typing.Tuple[str, float, int], ...] = tuple(
     for dd in (1, 4)
 )
 
+#: the per-PR subset (``--quick``): one cell per scheduler at the heavy
+#: rate -- where each scheduler's hot path dominates -- plus LOW's
+#: declustered cell (the WTPG-heaviest configuration).  Every cell is a
+#: member of :data:`BENCH_MATRIX`, so quick artifacts compare cleanly
+#: against full-matrix baselines.
+BENCH_QUICK_MATRIX: typing.Tuple[typing.Tuple[str, float, int], ...] = (
+    ("2PL", 1.2, 1),
+    ("C2PL", 1.2, 4),
+    ("GOW", 1.2, 1),
+    ("LOW", 1.2, 1),
+    ("LOW", 1.2, 4),
+    ("OPT", 1.2, 4),
+)
+
 #: default simulated horizon of one bench cell (ms); CI uses a shorter
 #: one via ``--duration``
 DEFAULT_DURATION_MS = 200_000.0

@@ -189,6 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="simulated ms per cell "
                           f"(default {bench_mod.DEFAULT_DURATION_MS:g})")
     ben.add_argument("--seed", type=int, default=0)
+    ben.add_argument("--quick", action="store_true",
+                     help="run the reduced 6-cell per-PR matrix instead "
+                          "of the full 20-cell one")
     ben.add_argument("--repeats", type=int, default=3,
                      help="simulate each cell N times, report the fastest "
                           "(default 3; the noise filter)")
@@ -567,8 +570,14 @@ def _command_bench(args: argparse.Namespace) -> int:
         runs_dir=(args.runs_dir or None) if args.telemetry else None,
         telemetry=args.telemetry,
     )
+    matrix = (
+        bench_mod.BENCH_QUICK_MATRIX if args.quick
+        else bench_mod.BENCH_MATRIX
+    )
     rows = runner.run_bench(
-        bench_mod.bench_specs(duration_ms=args.duration, seed=args.seed),
+        bench_mod.bench_specs(
+            duration_ms=args.duration, seed=args.seed, matrix=matrix
+        ),
         label="cli-bench",
         repeats=args.repeats,
     )

@@ -346,8 +346,10 @@ class Scheduler(abc.ABC):
             )
         else:
             yield wake
-        if entry in pool:
+        try:
             pool.remove(entry)
+        except ValueError:
+            pass
 
     def _wait_for_commit(
         self, fallback: bool = True, priority: float = 0.0
@@ -482,6 +484,7 @@ class WTPGSchedulerMixin:
 
     def _register_in_wtpg(self, txn: BatchTransaction) -> None:
         self.wtpg.add_transaction(txn)
+        direct: typing.List[typing.Tuple[int, int]] = []
         for file_id in txn.files:
             mode = txn.mode_for(file_id)
             held_mode = self.lock_table.mode_of(file_id)
@@ -490,10 +493,14 @@ class WTPGSchedulerMixin:
             for holder in self.lock_table.holders(file_id):
                 if holder != txn.txn_id and holder in self.wtpg:
                     self.wtpg.apply_fix(holder, txn.txn_id)
+                    direct.append((holder, txn.txn_id))
                     if self._trace.enabled:
                         self._emit_wtpg_fixes([(holder, txn.txn_id)])
         if self.wtpg_propagate:
-            applied = self.wtpg.propagate_transitive_fixes()
+            # only paths through the just-fixed holder -> newcomer edges
+            # are new, so the sweep restricts to them; with no direct
+            # fixes a propagated graph has nothing new to force
+            applied = self.wtpg.propagate_transitive_fixes(touched=direct)
             if self._trace.enabled:
                 self._emit_wtpg_fixes(applied)
 

@@ -57,7 +57,11 @@ class C2PLScheduler(WTPGSchedulerMixin, Scheduler):
         if deadlock:
             return Decision.DELAY  # cautious: wait, never abort
         self._grant_lock(txn, file_id, mode)
-        applied = self.wtpg.grant(txn.txn_id, file_id, propagate=False)
+        # fixes and the cycle test were just computed, with no yields in
+        # between, so the grant can skip both recomputations
+        applied = self.wtpg.grant(
+            txn.txn_id, file_id, propagate=False, fixes=fixes, precheck=False
+        )
         if self._trace.enabled:
             self._emit_wtpg_fixes(applied)
         return Decision.GRANT

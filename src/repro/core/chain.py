@@ -38,22 +38,45 @@ from repro.core.wtpg import WTPG
 RIGHT = "right"
 LEFT = "left"
 
+_DIRECTIONS = frozenset({RIGHT, LEFT})
 
-@dataclasses.dataclass(frozen=True)
+
 class ChainEdge:
-    """One edge of a chain component, in path position order."""
+    """One edge of a chain component, in path position order.
 
-    left_node: int
-    right_node: int
-    weight_right: float  # weight when oriented left_node -> right_node
-    weight_left: float  # weight when oriented right_node -> left_node
-    allowed: typing.FrozenSet[str]  # subset of {RIGHT, LEFT}
+    A plain slotted class rather than a frozen dataclass: components are
+    rebuilt (weights re-read) on every scheduler decision, so edge
+    construction sits on GOW's hot path and the per-field
+    ``object.__setattr__`` of a frozen dataclass is measurable.
+    """
 
-    def __post_init__(self) -> None:
-        if not self.allowed:
+    __slots__ = (
+        "left_node", "right_node", "weight_right", "weight_left", "allowed"
+    )
+
+    def __init__(
+        self,
+        left_node: int,
+        right_node: int,
+        weight_right: float,  # weight when oriented left_node -> right_node
+        weight_left: float,  # weight when oriented right_node -> left_node
+        allowed: typing.FrozenSet[str],  # subset of {RIGHT, LEFT}
+    ) -> None:
+        if not allowed:
             raise ValueError("edge must allow at least one direction")
-        if not self.allowed <= {RIGHT, LEFT}:
-            raise ValueError(f"bad direction set {self.allowed!r}")
+        if not allowed <= _DIRECTIONS:
+            raise ValueError(f"bad direction set {allowed!r}")
+        self.left_node = left_node
+        self.right_node = right_node
+        self.weight_right = weight_right
+        self.weight_left = weight_left
+        self.allowed = allowed
+
+    def __repr__(self) -> str:
+        return (
+            f"ChainEdge({self.left_node}, {self.right_node}, "
+            f"{self.weight_right}, {self.weight_left}, {self.allowed})"
+        )
 
 
 @dataclasses.dataclass
@@ -113,7 +136,9 @@ def keeps_chain_form(
 ) -> bool:
     """GOW Phase 0: would admitting ``new_txn`` keep the WTPG a chain?
 
-    ``new_txn`` is a BatchTransaction not yet in the graph.
+    ``new_txn`` is a BatchTransaction not yet in the graph.  This is the
+    from-scratch reference test; it conflicts-scans every active
+    transaction and re-verifies the whole structure.
     """
     adjacency = undirected_adjacency(wtpg)
     new_neighbors = {
@@ -127,16 +152,78 @@ def keeps_chain_form(
     return is_union_of_paths(adjacency)
 
 
+def keeps_chain_form_incremental(wtpg: WTPG, new_txn: "typing.Any") -> bool:
+    """Chain-form admission test for a WTPG that already *is* a chain.
+
+    GOW maintains chain form invariantly (admissions are gated on it,
+    removals only split paths, and fixing a conflict edge into a
+    precedence edge leaves the undirected structure unchanged), so the
+    full :func:`keeps_chain_form` re-verification is redundant at its
+    admission sites.  Under that precondition the newcomer keeps the
+    chain iff it has at most two conflict neighbours, each of current
+    degree <= 1, and -- when there are two -- they lie on *different*
+    paths (joining the ends of one path would close a cycle).  Matches
+    :func:`keeps_chain_form` exactly on chain-form graphs; O(neighbours
+    + one path walk) instead of O(nodes + edges).
+    """
+    neighbors = wtpg.conflict_opponents(new_txn)
+    if len(neighbors) > 2:
+        return False
+    for other_id in neighbors:
+        if wtpg.degree(other_id) >= 2:
+            return False
+    if len(neighbors) == 2:
+        first, second = neighbors
+        if _on_same_path(wtpg, first, second):
+            return False
+    return True
+
+
+def _on_same_path(wtpg: WTPG, start: int, goal: int) -> bool:
+    """Walk the path from endpoint ``start`` looking for ``goal``.
+
+    ``start`` has degree <= 1, so the walk follows the unique path to
+    its far end.
+    """
+    previous, current = None, start
+    while True:
+        nxt = [n for n in wtpg.neighbors(current) if n != previous]
+        if not nxt:
+            return False
+        previous, current = current, nxt[0]
+        if current == goal:
+            return True
+
+
 def extract_components(wtpg: WTPG) -> typing.List[ChainComponent]:
     """Split a chain-form WTPG into ordered path components.
 
     Raises :class:`NotChainFormError` when the structure is not a union
     of paths.
+
+    The node ordering of the components depends only on the graph
+    *structure*, so it is cached on the WTPG keyed by its structure
+    version; repeated lock decisions against an unchanged graph skip the
+    chain-form re-verification and the component walk entirely.  The
+    (drifting) T0 weights and the direction constraints are re-read
+    fresh on every call.
     """
+    cache = wtpg._chain_cache
+    version = wtpg.structure_version
+    if cache is not None and cache[0] == version:
+        node_orders = cache[1]
+    else:
+        node_orders = _component_node_orders(wtpg)
+        wtpg._chain_cache = (version, node_orders)
+    return [_build_component(wtpg, ordered) for ordered in node_orders]
+
+
+def _component_node_orders(wtpg: WTPG) -> typing.List[typing.List[int]]:
+    """Ordered node lists of each path component (structure only)."""
     adjacency = undirected_adjacency(wtpg)
     if not is_union_of_paths(adjacency):
         raise NotChainFormError(f"WTPG is not chain-form: {wtpg!r}")
-    components: typing.List[ChainComponent] = []
+    node_orders: typing.List[typing.List[int]] = []
     visited: typing.Set[int] = set()
     for start in sorted(adjacency):
         if start in visited:
@@ -162,8 +249,8 @@ def extract_components(wtpg: WTPG) -> typing.List[ChainComponent]:
             previous, current = current, nxt[0]
             ordered.append(current)
             visited.add(current)
-        components.append(_build_component(wtpg, ordered))
-    return components
+        node_orders.append(ordered)
+    return node_orders
 
 
 def _build_component(
@@ -172,12 +259,12 @@ def _build_component(
     edges = []
     for left, right in zip(ordered, ordered[1:]):
         if wtpg.has_precedence(left, right):
-            weight = wtpg.precedence_edges()[(left, right)]
+            weight = wtpg.precedence_weight(left, right)
             edges.append(
                 ChainEdge(left, right, weight, math.nan, frozenset({RIGHT}))
             )
         elif wtpg.has_precedence(right, left):
-            weight = wtpg.precedence_edges()[(right, left)]
+            weight = wtpg.precedence_weight(right, left)
             edges.append(
                 ChainEdge(left, right, math.nan, weight, frozenset({LEFT}))
             )
@@ -257,62 +344,81 @@ def _feasible(
     k = len(component.nodes)
     if k == 1:
         return w0[0] <= theta + eps
-    forced = forced or {}
+    edges = component.edges
+    bound = theta + eps
 
-    def allowed(i: int) -> typing.FrozenSet[str]:
-        if i in forced:
-            direction = forced[i]
-            if direction not in component.edges[i].allowed:
-                return frozenset()
-            return frozenset({direction})
-        return component.edges[i].allowed
+    if forced:
+        def allowed(i: int) -> typing.FrozenSet[str]:
+            if i in forced:
+                direction = forced[i]
+                if direction not in edges[i].allowed:
+                    return frozenset()
+                return frozenset({direction})
+            return edges[i].allowed
+    else:
+        def allowed(i: int) -> typing.FrozenSet[str]:
+            return edges[i].allowed
 
     right_state: typing.Optional[float] = None  # minimal h for an open R run
     left_states: typing.List[typing.Tuple[float, float]] = []  # (cum, m)
 
     # edge 0
     directions = allowed(0)
+    edge = edges[0]
     if RIGHT in directions:
-        edge = component.edges[0]
-        h = max(w0[0] + edge.weight_right, w0[1])
-        if h <= theta + eps:
+        h = w0[0] + edge.weight_right
+        if h < w0[1]:
+            h = w0[1]
+        if h <= bound:
             right_state = h
     if LEFT in directions:
-        edge = component.edges[0]
         cum = edge.weight_left
-        m = max(w0[0], w0[1] + cum)
-        if m <= theta + eps:
+        m = w0[1] + cum
+        if m < w0[0]:
+            m = w0[0]
+        if m <= bound:
             left_states = [(cum, m)]
     if right_state is None and not left_states:
         return False
 
     for i in range(1, k - 1):
-        edge = component.edges[i]
+        edge = edges[i]
         directions = allowed(i)
         new_right: typing.Optional[float] = None
         new_left: typing.List[typing.Tuple[float, float]] = []
         node_w = w0[i + 1]
         if RIGHT in directions:
-            options = []
+            weight_right = edge.weight_right
             if right_state is not None:  # continue the R run
-                options.append(max(right_state + edge.weight_right, node_w))
+                h = right_state + weight_right
+                if h < node_w:
+                    h = node_w
+                if h <= bound:
+                    new_right = h
             if left_states:  # close an L run (already <= theta), open R
-                options.append(max(w0[i] + edge.weight_right, node_w))
-            finite = [h for h in options if h <= theta + eps]
-            if finite:
-                new_right = min(finite)
+                h = w0[i] + weight_right
+                if h < node_w:
+                    h = node_w
+                if h <= bound and (new_right is None or h < new_right):
+                    new_right = h
         if LEFT in directions:
+            weight_left = edge.weight_left
             for cum, m in left_states:  # continue the L run
-                cum2 = cum + edge.weight_left
-                m2 = max(m, node_w + cum2)
-                if m2 <= theta + eps:
+                cum2 = cum + weight_left
+                m2 = node_w + cum2
+                if m2 < m:
+                    m2 = m
+                if m2 <= bound:
                     new_left.append((cum2, m2))
             if right_state is not None:  # close the R run, open L
-                cum2 = edge.weight_left
-                m2 = max(w0[i], node_w + cum2)
-                if m2 <= theta + eps:
+                cum2 = weight_left
+                m2 = node_w + cum2
+                if m2 < w0[i]:
+                    m2 = w0[i]
+                if m2 <= bound:
                     new_left.append((cum2, m2))
-            new_left = _pareto_reduce(new_left)
+            if len(new_left) > 1:
+                new_left = _pareto_reduce(new_left)
         right_state, left_states = new_right, new_left
         if right_state is None and not left_states:
             return False

@@ -19,7 +19,10 @@ from __future__ import annotations
 import typing
 
 from repro.core.base import Decision, Scheduler, WTPGSchedulerMixin
-from repro.core.chain import compute_optimal_order, keeps_chain_form
+from repro.core.chain import (
+    compute_optimal_order,
+    keeps_chain_form_incremental,
+)
 from repro.core.wtpg import WTPG
 from repro.txn.step import AccessMode
 from repro.txn.transaction import BatchTransaction
@@ -38,7 +41,9 @@ class GOWScheduler(WTPGSchedulerMixin, Scheduler):
 
     def _try_admit(self, txn: BatchTransaction) -> typing.Generator:
         yield from self.control_node.consume(self.config.toptime_ms, "cc-gow")
-        ok = keeps_chain_form(self.wtpg, txn)
+        # GOW keeps the graph chain-form invariantly, so the incremental
+        # test (degrees + one path walk) replaces the full re-verification.
+        ok = keeps_chain_form_incremental(self.wtpg, txn)
         if self._trace.enabled:
             self._trace.emit(
                 self.env.now, "sched.chain_test", txn=txn.txn_id, ok=ok
@@ -79,7 +84,7 @@ class GOWScheduler(WTPGSchedulerMixin, Scheduler):
             return Decision.DELAY
         # Granted; Phase 4 replaces newly determined conflict edges.
         self._grant_lock(txn, file_id, mode)
-        applied = self.wtpg.grant(txn.txn_id, file_id)
+        applied = self.wtpg.grant(txn.txn_id, file_id, fixes=fixes)
         if self._trace.enabled:
             self._emit_wtpg_fixes(applied)
         return Decision.GRANT

@@ -8,6 +8,12 @@ schedulers.
 Because every transaction requests the strongest mode it will ever need on
 a file at its first touch (Section 2 / Experiment 1 of the paper), lock
 upgrades never occur and the table rejects them.
+
+The table is sparse: only files someone actually holds have a
+:class:`FileLock` entry, and a per-transaction holdings index makes
+``files_held_by``/``release_all`` O(files held) and ``held_count`` O(1)
+regardless of ``num_files`` -- the dense list-of-all-files layout scanned
+the whole database per committing transaction and per time-series sample.
 """
 
 from __future__ import annotations
@@ -54,68 +60,84 @@ class LockTable:
         if num_files < 1:
             raise ValueError(f"num_files must be >= 1, got {num_files}")
         self.num_files = num_files
-        self._locks = [FileLock(f) for f in range(num_files)]
+        #: held files only; a free file has no entry
+        self._locks: typing.Dict[int, FileLock] = {}
+        #: holdings index: txn_id -> files it holds (dropped when empty)
+        self._held_by: typing.Dict[int, typing.Set[int]] = {}
 
-    def _lock(self, file_id: int) -> FileLock:
+    def _check_range(self, file_id: int) -> None:
         if not 0 <= file_id < self.num_files:
             raise ValueError(f"file {file_id} out of range")
-        return self._locks[file_id]
 
     # -- queries --------------------------------------------------------------
 
     def is_compatible(self, file_id: int, mode: AccessMode) -> bool:
         """Would granting (file, mode) conflict with current holders?"""
-        return self._lock(file_id).compatible(mode)
+        self._check_range(file_id)
+        lock = self._locks.get(file_id)
+        return lock is None or lock.compatible(mode)
 
     def holders(self, file_id: int) -> typing.Set[int]:
         """Transaction ids currently holding the file."""
-        return set(self._lock(file_id).holders)
+        self._check_range(file_id)
+        lock = self._locks.get(file_id)
+        return set(lock.holders) if lock is not None else set()
 
     def mode_of(self, file_id: int) -> typing.Optional[AccessMode]:
         """Mode the file is held in, or None when free."""
-        return self._lock(file_id).mode
+        self._check_range(file_id)
+        lock = self._locks.get(file_id)
+        return lock.mode if lock is not None else None
 
     def holds(self, txn_id: int, file_id: int) -> bool:
-        return txn_id in self._lock(file_id).holders
+        self._check_range(file_id)
+        return file_id in self._held_by.get(txn_id, ())
 
     def held_count(self) -> int:
         """Number of files currently locked by anyone (table size)."""
-        return sum(1 for lock in self._locks if lock.holders)
+        return len(self._locks)
 
     def files_held_by(self, txn_id: int) -> typing.List[int]:
-        """All files the transaction holds (any mode)."""
-        return [
-            lock.file_id for lock in self._locks if txn_id in lock.holders
-        ]
+        """All files the transaction holds (any mode), ascending."""
+        return sorted(self._held_by.get(txn_id, ()))
 
     # -- mutations --------------------------------------------------------------
 
     def grant(self, txn_id: int, file_id: int, mode: AccessMode) -> None:
         """Record the grant; callers must have checked compatibility."""
-        lock = self._lock(file_id)
-        if txn_id in lock.holders:
+        self._check_range(file_id)
+        lock = self._locks.get(file_id)
+        if lock is None:
+            lock = FileLock(file_id)
+            lock.mode = mode
+            self._locks[file_id] = lock
+        elif txn_id in lock.holders:
             raise LockError(
                 f"T{txn_id} already holds F{file_id}; upgrades are not modelled"
             )
-        if not lock.compatible(mode):
+        elif not lock.compatible(mode):
             raise LockError(
                 f"incompatible grant of F{file_id}:{mode} to T{txn_id} "
                 f"(held {lock.mode} by {sorted(lock.holders)})"
             )
-        if lock.is_free:
-            lock.mode = mode
         elif mode.is_write:  # pragma: no cover - excluded by compatible()
             raise LockError("X grant on a held lock")
         lock.holders.add(txn_id)
+        self._held_by.setdefault(txn_id, set()).add(file_id)
 
     def release(self, txn_id: int, file_id: int) -> None:
         """Release one file held by ``txn_id``."""
-        lock = self._lock(file_id)
-        if txn_id not in lock.holders:
+        self._check_range(file_id)
+        lock = self._locks.get(file_id)
+        if lock is None or txn_id not in lock.holders:
             raise LockError(f"T{txn_id} does not hold F{file_id}")
         lock.holders.remove(txn_id)
         if lock.is_free:
-            lock.mode = None
+            del self._locks[file_id]
+        held = self._held_by[txn_id]
+        held.discard(file_id)
+        if not held:
+            del self._held_by[txn_id]
 
     def release_all(self, txn_id: int) -> typing.List[int]:
         """Release every file held by ``txn_id``; returns the files freed."""

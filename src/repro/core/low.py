@@ -47,40 +47,29 @@ class LOWScheduler(WTPGSchedulerMixin, Scheduler):
         For each file, the declared accesses conflicting with an access p
         are those of other active transactions whose mode clashes with
         p's.  Admission must keep the new transaction's own sets and every
-        existing set within K.
+        existing set within K.  The WTPG's per-file declaration indexes
+        answer each set in O(declarers of the file) instead of a scan
+        over every active transaction.
         """
+        wtpg = self.wtpg
         for file_id in txn.files:
             mode = txn.mode_for(file_id)
-            conflicting = [
-                other_id
-                for other_id in self.wtpg.txn_ids
-                if file_id in self.wtpg.transaction(other_id).read_set
-                and mode.conflicts_with(
-                    self.wtpg.transaction(other_id).mode_for(file_id)
-                )
-            ]
+            conflicting = wtpg.declared_conflicters(
+                file_id, mode, exclude=txn.txn_id
+            )
             # the newcomer's own C(q) on this file
             if len(conflicting) > self.k:
                 return False
             # each existing conflicting access gains one conflict
+            count = wtpg.declared_conflict_count
             for other_id in conflicting:
-                if self._conflict_count(other_id, file_id) + 1 > self.k:
+                if count(other_id, file_id) + 1 > self.k:
                     return False
         return True
 
     def _conflict_count(self, txn_id: int, file_id: int) -> int:
         """|C(p)| for the access of ``txn_id`` on ``file_id`` right now."""
-        txn = self.wtpg.transaction(txn_id)
-        mode = txn.mode_for(file_id)
-        return sum(
-            1
-            for other_id in self.wtpg.txn_ids
-            if other_id != txn_id
-            and file_id in self.wtpg.transaction(other_id).read_set
-            and mode.conflicts_with(
-                self.wtpg.transaction(other_id).mode_for(file_id)
-            )
-        )
+        return self.wtpg.declared_conflict_count(txn_id, file_id)
 
     def _try_admit(self, txn: BatchTransaction) -> typing.Generator:
         ok = self._conflict_counts_ok(txn)
@@ -102,17 +91,11 @@ class LOWScheduler(WTPGSchedulerMixin, Scheduler):
         """C(q): ids of active transactions whose declared access to the
         granule conflicts with q (excluding current lock holders, whose
         access already happened -- against them q is simply blocked)."""
-        holders = self.lock_table.holders(file_id)
-        result = []
-        for other_id in self.wtpg.txn_ids:
-            if other_id == txn.txn_id or other_id in holders:
-                continue
-            other = self.wtpg.transaction(other_id)
-            if file_id in other.read_set and mode.conflicts_with(
-                other.mode_for(file_id)
-            ):
-                result.append(other_id)
-        return result
+        opponents = self.wtpg.declared_conflicters(
+            file_id, mode, exclude=txn.txn_id
+        )
+        opponents -= self.lock_table.holders(file_id)
+        return sorted(opponents)
 
     def _try_acquire(
         self, txn: BatchTransaction, file_id: int, mode: AccessMode

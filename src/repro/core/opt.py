@@ -13,6 +13,7 @@ default (``opt_validate_cost_ms`` overrides for ablations).
 
 from __future__ import annotations
 
+import collections
 import typing
 
 from repro.core.base import Decision, Scheduler
@@ -39,7 +40,12 @@ class OPTScheduler(Scheduler):
     ) -> None:
         super().__init__(*args, **kwargs)
         self.opt_validate_cost_ms = opt_validate_cost_ms
-        self._commit_log: typing.List[_CommitRecord] = []
+        #: commit records in nondecreasing commit-time order; pruning
+        #: pops from the left, validation scans the young suffix from
+        #: the right
+        self._commit_log: typing.Deque[_CommitRecord] = collections.deque()
+        #: insertion order == admission order == nondecreasing time, so
+        #: the first entry is always the oldest active start time
         self._start_times: typing.Dict[int, float] = {}
 
     def _try_admit(self, txn: BatchTransaction) -> typing.Generator:
@@ -65,10 +71,15 @@ class OPTScheduler(Scheduler):
         if start is None:
             raise RuntimeError(f"T{txn.txn_id} was never admitted")
         touched = txn.read_set | txn.write_set
-        ok = not any(
-            record.commit_time > start and record.write_set & touched
-            for record in self._commit_log
-        )
+        # the log is commit-time ordered: walk the suffix newer than
+        # ``start`` and stop at the first record at or before it
+        ok = True
+        for record in reversed(self._commit_log):
+            if record.commit_time <= start:
+                break
+            if record.write_set & touched:
+                ok = False
+                break
         if self._trace.enabled:
             self._trace.emit(
                 self.env.now, "sched.opt_validation", txn=txn.txn_id, ok=ok
@@ -107,10 +118,10 @@ class OPTScheduler(Scheduler):
 
     def _prune_commit_log(self) -> None:
         """Drop records no active transaction could conflict with."""
+        log = self._commit_log
         if not self._start_times:
-            self._commit_log.clear()
+            log.clear()
             return
-        oldest = min(self._start_times.values())
-        self._commit_log = [
-            r for r in self._commit_log if r.commit_time > oldest
-        ]
+        oldest = next(iter(self._start_times.values()))
+        while log and log[0].commit_time <= oldest:
+            log.popleft()

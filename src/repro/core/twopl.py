@@ -94,21 +94,38 @@ class TwoPLScheduler(Scheduler):
 
     def _find_deadlock_victim(self, start: int) -> typing.Optional[int]:
         """DFS the waits-for graph from ``start``; on a cycle through
-        ``start``, return the youngest transaction on it."""
-        stack = [(h, [start, h]) for h in self._waits_for.get(start, ())]
+        ``start``, return the youngest transaction on it.
+
+        Stack entries carry their path as a cons chain (node, parent
+        entry) instead of a copied list, so a push is O(1); the chain is
+        materialised only for the one entry that closes the cycle.  The
+        push order -- and therefore which cycle is found first -- is
+        identical to the list-copying version.
+        """
+        waits_for = self._waits_for
+        root = (start, None)
+        stack: typing.List[typing.Tuple[int, typing.Optional[tuple]]] = [
+            (h, root) for h in waits_for.get(start, ())
+        ]
         visited: typing.Set[int] = set()
         while stack:
-            node, path = stack.pop()
+            node, parent = stack.pop()
             if node == start:
-                cycle = path[:-1]
+                # the cycle is the path minus the final repeat of start
+                cycle = []
+                entry: typing.Optional[tuple] = parent
+                while entry is not None:
+                    cycle.append(entry[0])
+                    entry = entry[1]
                 return max(
                     cycle, key=lambda t: self._admission_order.get(t, 0)
                 )
             if node in visited:
                 continue
             visited.add(node)
-            for nxt in self._waits_for.get(node, ()):
-                stack.append((nxt, path + [nxt]))
+            entry = (node, parent)
+            for nxt in waits_for.get(node, ()):
+                stack.append((nxt, entry))
         return None
 
     def _cleanup(self, txn: BatchTransaction) -> None:

@@ -31,10 +31,43 @@ so this structure maintains everything incrementally:
   ``level(u) < level(v)`` for each precedence edge u -> v, so cycle and
   path queries prune to the (usually tiny) level window between the two
   endpoints -- the classic incremental-cycle-detection bound.
+
+Incremental maintenance invariants (the kernel-speed campaign):
+
+- ``_longest[t]`` is the *suffix distance* L(t): the largest sum of
+  precedence-edge weights along any directed path starting at t, i.e.
+  ``L(t) = max(0, max over successors s of w(t -> s) + L(s))``.  Because
+  precedence-edge weights are fixed at declaration time, L only changes
+  when an edge is inserted (:meth:`apply_fix` raises ancestors along
+  ``w + L(target)``) or a node is removed (:meth:`remove_transaction`
+  recomputes affected ancestors deepest-level-first).  The critical path
+  is then ``max over t of t0_weight(t) + L(t)`` with no per-call graph
+  traversal; only the drifting T0 weights are read fresh.  The maintained
+  values are bit-exact against a backward recompute because every stored
+  L is literally ``w + L(succ)`` for some successor whose own L satisfies
+  the same property (``check_invariants`` asserts this).
+- Acyclicity is certified by the maintained levels: if
+  ``level(i) < level(j)`` holds for every precedence edge, the graph is
+  provably acyclic, so :meth:`critical_path_length` replaces its old
+  Kahn toposort with a single O(E) certificate scan (returning ``inf``
+  when the certificate fails, preserving the deadlock contract).
+- Hypothetical evaluation (LOW's E function) no longer copies the graph:
+  mutations made while ``_journal`` is active append undo records
+  (conflict-edge deletion, precedence insertion, level raise, L raise)
+  that :meth:`_rollback` replays in reverse, restoring the structure --
+  including the structure version, so topology caches stay valid.
+- Transitive propagation is restricted to candidates that a *new* edge
+  could force: any new path i ~> j passes through a just-inserted edge
+  (s, t) with i an ancestor of s and j a descendant of t, so
+  ``propagate_transitive_fixes(touched=...)`` scans only conflict edges
+  whose endpoints fall in those ancestor/descendant closures.  This is
+  complete in one sweep because propagation's own fixes parallel
+  existing paths and never change reachability.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 import typing
 
@@ -85,6 +118,17 @@ class WTPG:
         self._writers: typing.Dict[int, typing.Set[int]] = {}
         #: topological level: level(u) < level(v) for every edge u -> v
         self._level: typing.Dict[int, int] = {}
+        #: maintained suffix distance L(t) over precedence edges
+        self._longest: typing.Dict[int, float] = {}
+        #: undo log; non-None only inside hypothetical evaluation
+        self._journal: typing.Optional[typing.List[typing.Tuple]] = None
+        #: bumped on every structural mutation (nodes/edges), restored on
+        #: hypothetical rollback; topology caches key off this
+        self.structure_version = 0
+        #: chain-component cache slot owned by repro.core.chain
+        self._chain_cache: typing.Optional[
+            typing.Tuple[int, typing.List[typing.List[int]]]
+        ] = None
 
     # -- membership ------------------------------------------------------------
 
@@ -101,17 +145,32 @@ class WTPG:
     def transaction(self, txn_id: int) -> BatchTransaction:
         return self._txns[txn_id]
 
+    def conflict_opponents(self, txn: BatchTransaction) -> typing.Set[int]:
+        """Active transactions whose declarations conflict with ``txn``'s.
+
+        ``txn`` need not be in the graph (declaration-time discovery and
+        GOW's admission test share this index lookup).
+        """
+        opponents: typing.Set[int] = set()
+        writers = self._writers
+        readers = self._readers
+        write_set = txn.write_set
+        for file_id in txn.files:
+            held = writers.get(file_id)
+            if held:
+                opponents |= held
+            if file_id in write_set:
+                held = readers.get(file_id)
+                if held:
+                    opponents |= held
+        opponents.discard(txn.txn_id)
+        return opponents
+
     def add_transaction(self, txn: BatchTransaction) -> None:
         """Declare ``txn``: add its node and conflict edges vs all actives."""
         if txn.txn_id in self._txns:
             raise ValueError(f"T{txn.txn_id} already in WTPG")
-        opponents: typing.Set[int] = set()
-        for file_id in txn.files:
-            opponents |= self._writers.get(file_id, set())
-            if txn.writes(file_id):
-                opponents |= self._readers.get(file_id, set())
-        opponents.discard(txn.txn_id)
-        for other_id in opponents:
+        for other_id in self.conflict_opponents(txn):
             self._conflicts[frozenset((other_id, txn.txn_id))] = None
             self._conflict_adj.setdefault(other_id, set()).add(txn.txn_id)
             self._conflict_adj.setdefault(txn.txn_id, set()).add(other_id)
@@ -120,15 +179,18 @@ class WTPG:
         self._pred.setdefault(txn.txn_id, set())
         self._conflict_adj.setdefault(txn.txn_id, set())
         self._level.setdefault(txn.txn_id, 0)
+        self._longest.setdefault(txn.txn_id, 0.0)
         for file_id in txn.files:
             index = self._writers if txn.writes(file_id) else self._readers
             index.setdefault(file_id, set()).add(txn.txn_id)
+        self.structure_version += 1
 
     def remove_transaction(self, txn_id: int) -> None:
         """Drop a committed/aborted transaction and its incident edges.
 
         Other nodes' levels stay valid: removing edges only relaxes the
-        level invariant.
+        level invariant.  Suffix distances of the (former) predecessors
+        can only shrink and are recomputed deepest-level-first.
         """
         txn = self._txns.pop(txn_id, None)
         if txn is None:
@@ -139,7 +201,8 @@ class WTPG:
         for succ in self._succ.pop(txn_id, set()):
             self._pred[succ].discard(txn_id)
             del self._precedence[(txn_id, succ)]
-        for pred in self._pred.pop(txn_id, set()):
+        preds = self._pred.pop(txn_id, set())
+        for pred in preds:
             self._succ[pred].discard(txn_id)
             del self._precedence[(pred, txn_id)]
         for file_id in txn.files:
@@ -150,6 +213,10 @@ class WTPG:
                 if not holders:
                     del index[file_id]
         self._level.pop(txn_id, None)
+        self._longest.pop(txn_id, None)
+        if preds:
+            self._lower_longest(preds)
+        self.structure_version += 1
 
     @staticmethod
     def _blocked_weight(
@@ -163,6 +230,11 @@ class WTPG:
 
     def conflict_edges(self) -> typing.List[ConflictEdge]:
         return [self._materialise(key) for key in list(self._conflicts)]
+
+    def conflict_pairs(self) -> typing.List[typing.Tuple[int, int]]:
+        """Endpoint pairs of all conflict edges, *without* materialising
+        the lazy weights -- the accessor for topology-only callers."""
+        return [tuple(sorted(key)) for key in self._conflicts]
 
     def has_conflict_edge(self, i: int, j: int) -> bool:
         return frozenset((i, j)) in self._conflicts
@@ -194,6 +266,10 @@ class WTPG:
     def has_precedence(self, i: int, j: int) -> bool:
         return (i, j) in self._precedence
 
+    def precedence_weight(self, i: int, j: int) -> float:
+        """Weight of the determined edge i -> j (KeyError when absent)."""
+        return self._precedence[(i, j)]
+
     def neighbors(self, txn_id: int) -> typing.Set[int]:
         """Transactions joined to ``txn_id`` by any (conflict or
         precedence) edge -- the adjacency the chain-form test inspects."""
@@ -201,6 +277,15 @@ class WTPG:
             self._conflict_adj.get(txn_id, set())
             | self._succ.get(txn_id, set())
             | self._pred.get(txn_id, set())
+        )
+
+    def degree(self, txn_id: int) -> int:
+        """Undirected degree over conflict + precedence edges (O(1);
+        the three incident sets are disjoint in an acyclic graph)."""
+        return (
+            len(self._conflict_adj.get(txn_id, ()))
+            + len(self._succ.get(txn_id, ()))
+            + len(self._pred.get(txn_id, ()))
         )
 
     def t0_weight(self, txn_id: int) -> float:
@@ -219,11 +304,45 @@ class WTPG:
         """Active transactions whose declared access to the file
         conflicts with ``txn_id``'s declared access to it."""
         txn = self._txns[txn_id]
+        return sorted(
+            self.declared_conflicters(
+                file_id, txn.mode_for(file_id), exclude=txn_id
+            )
+        )
+
+    def declared_conflicters(
+        self,
+        file_id: int,
+        mode: "typing.Any",
+        exclude: typing.Optional[int] = None,
+    ) -> typing.Set[int]:
+        """Ids of active transactions whose declared access to ``file_id``
+        conflicts with an access in ``mode`` (index lookup: declared
+        writers always conflict; declared readers only against a write)."""
         opponents = set(self._writers.get(file_id, ()))
-        if txn.writes(file_id):
-            opponents |= self._readers.get(file_id, set())
-        opponents.discard(txn_id)
-        return sorted(opponents)
+        if mode.is_write:
+            readers = self._readers.get(file_id)
+            if readers:
+                opponents |= readers
+        if exclude is not None:
+            opponents.discard(exclude)
+        return opponents
+
+    def declared_conflict_count(self, txn_id: int, file_id: int) -> int:
+        """|C(p)| for the declared access of active ``txn_id`` on the file.
+
+        Size of :meth:`declared_conflicters` for that access without
+        building the set: the per-file writer and reader indexes are
+        disjoint, so the union size is plain arithmetic.  A declared
+        writer conflicts with every other declarer; a declared reader
+        only with the writers.
+        """
+        writers = self._writers.get(file_id)
+        nwriters = len(writers) if writers else 0
+        if writers and txn_id in writers:
+            readers = self._readers.get(file_id)
+            return nwriters - 1 + (len(readers) if readers else 0)
+        return nwriters
 
     def fixes_for_grant(
         self, txn_id: int, file_id: int
@@ -292,13 +411,21 @@ class WTPG:
                 return  # already determined in this direction
             raise KeyError(f"no conflict edge between T{i} and T{j}")
         edge = self._materialise(key)
+        journal = self._journal
+        if journal is not None:
+            journal.append(("conflict", key, edge))
         del self._conflicts[key]
         self._conflict_adj[i].discard(j)
         self._conflict_adj[j].discard(i)
-        self._precedence[(i, j)] = edge.weight(i, j)
+        weight = edge.weight(i, j)
+        self._precedence[(i, j)] = weight
         self._succ.setdefault(i, set()).add(j)
         self._pred.setdefault(j, set()).add(i)
+        if journal is not None:
+            journal.append(("edge", i, j))
         self._raise_level(i, j)
+        self._raise_longest(i, weight + self._longest[j])
+        self.structure_version += 1
 
     def _raise_level(self, source: int, target: int) -> None:
         """Restore ``level(u) < level(v)`` after adding source -> target.
@@ -308,6 +435,9 @@ class WTPG:
         """
         if self._level[target] > self._level[source]:
             return
+        journal = self._journal
+        if journal is not None:
+            journal.append(("level", target, self._level[target]))
         self._level[target] = self._level[source] + 1
         stack = [target]
         while stack:
@@ -319,16 +449,79 @@ class WTPG:
                         raise ValueError(
                             f"precedence cycle through T{source} -> T{target}"
                         )
+                    if journal is not None:
+                        journal.append(("level", nxt, self._level[nxt]))
                     self._level[nxt] = node_level + 1
                     stack.append(nxt)
 
-    def propagate_transitive_fixes(self) -> typing.List[typing.Tuple[int, int]]:
+    def _raise_longest(self, node: int, candidate: float) -> None:
+        """Propagate a new suffix-distance candidate up the ancestors."""
+        longest = self._longest
+        journal = self._journal
+        precedence = self._precedence
+        stack = [(node, candidate)]
+        while stack:
+            n, cand = stack.pop()
+            if cand <= longest[n]:
+                continue
+            if journal is not None:
+                journal.append(("longest", n, longest[n]))
+            longest[n] = cand
+            for p in self._pred.get(n, ()):
+                stack.append((p, precedence[(p, n)] + cand))
+
+    def _lower_longest(self, seeds: typing.Iterable[int]) -> None:
+        """Recompute suffix distances that may have shrunk.
+
+        Processes deepest level first so every successor is final before
+        its predecessors are recomputed; propagation stops where the
+        recomputed value is unchanged.
+        """
+        longest = self._longest
+        level = self._level
+        pending = {n for n in seeds if n in longest}
+        heap = [(-level[n], n) for n in pending]
+        heapq.heapify(heap)
+        while heap:
+            _, node = heapq.heappop(heap)
+            if node not in pending:
+                continue
+            pending.discard(node)
+            best = 0.0
+            for s in self._succ.get(node, ()):
+                cand = self._precedence[(node, s)] + longest[s]
+                if cand > best:
+                    best = cand
+            if best != longest[node]:
+                longest[node] = best
+                for p in self._pred.get(node, ()):
+                    if p not in pending:
+                        pending.add(p)
+                        heapq.heappush(heap, (-level[p], p))
+
+    def propagate_transitive_fixes(
+        self,
+        touched: typing.Optional[
+            typing.Iterable[typing.Tuple[int, int]]
+        ] = None,
+    ) -> typing.List[typing.Tuple[int, int]]:
         """Resolve conflict edges forced by existing precedence paths.
 
         When a precedence path Ti ~> Tj exists, the conflict edge (Ti, Tj)
         can only legally be oriented Ti -> Tj (Fig. 6's T4 -> T7 example);
-        fix all such edges until none remain.  Returns the fixes applied.
+        fix all such edges.  Returns the fixes applied.
+
+        ``touched`` (the just-inserted precedence edges) restricts the
+        sweep: a conflict edge can only be *newly* forced along a path
+        through one of those edges, so only pairs with one endpoint among
+        the new sources' ancestors and the other among the new targets'
+        descendants are candidates.  Callers that kept the graph
+        propagated (every grant/declaration since the last sweep) get the
+        identical applied list in a single sweep; ``touched=None`` runs
+        the original full fixpoint scan.
         """
+        if touched is not None:
+            return self._propagate_touched(list(touched))
         applied = []
         changed = True
         while changed:
@@ -347,8 +540,48 @@ class WTPG:
                     changed = True
         return applied
 
+    def _propagate_touched(
+        self, new_edges: typing.List[typing.Tuple[int, int]]
+    ) -> typing.List[typing.Tuple[int, int]]:
+        """One restricted sweep over conflict edges a new path could force."""
+        if not new_edges or not self._conflicts:
+            return []
+        above = self._closure({i for i, _ in new_edges}, self._pred)
+        below = self._closure({j for _, j in new_edges}, self._succ)
+        applied = []
+        for key in list(self._conflicts):
+            i, j = tuple(key)
+            if i in above and j in below and self.has_path(i, j):
+                self.apply_fix(i, j)
+                applied.append((i, j))
+            elif j in above and i in below and self.has_path(j, i):
+                self.apply_fix(j, i)
+                applied.append((j, i))
+        return applied
+
+    @staticmethod
+    def _closure(
+        starts: typing.Set[int],
+        adjacency: typing.Dict[int, typing.Set[int]],
+    ) -> typing.Set[int]:
+        """``starts`` plus everything reachable through ``adjacency``."""
+        seen = set(starts)
+        stack = list(starts)
+        while stack:
+            node = stack.pop()
+            for nxt in adjacency.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
     def grant(
-        self, txn_id: int, file_id: int, propagate: bool = True
+        self,
+        txn_id: int,
+        file_id: int,
+        propagate: bool = True,
+        fixes: typing.Optional[typing.List[typing.Tuple[int, int]]] = None,
+        precheck: bool = True,
     ) -> typing.List[typing.Tuple[int, int]]:
         """Apply all precedence consequences of a lock grant.
 
@@ -359,9 +592,14 @@ class WTPG:
         schedulers that never read edge weights (C2PL) can resolve those
         edges lazily -- a later grant against a forced order still fails
         the cycle test -- and skipping keeps large graphs affordable.
+
+        ``fixes``/``precheck`` let a scheduler that already computed the
+        fix list and ran the cycle test (atomically, with no intervening
+        yields) skip the recomputation.
         """
-        fixes = self.fixes_for_grant(txn_id, file_id)
-        if self.creates_cycle(fixes):
+        if fixes is None:
+            fixes = self.fixes_for_grant(txn_id, file_id)
+        if precheck and self.creates_cycle(fixes):
             raise ValueError(
                 f"granting F{file_id} to T{txn_id} creates a precedence cycle"
             )
@@ -369,7 +607,7 @@ class WTPG:
             self.apply_fix(i, j)
         if not propagate:
             return fixes
-        return fixes + self.propagate_transitive_fixes()
+        return fixes + self.propagate_transitive_fixes(touched=fixes)
 
     # -- path / cycle machinery ---------------------------------------------
 
@@ -420,27 +658,36 @@ class WTPG:
         """Longest T0-to-Tf path over precedence edges (conflicts ignored).
 
         Returns ``inf`` when the precedence edges contain a cycle (a state
-        the schedulers treat as deadlock).
+        the schedulers treat as deadlock).  The maintained levels certify
+        acyclicity in one O(E) scan -- ``level(i) < level(j)`` for every
+        edge proves there is no cycle -- and the maintained suffix
+        distances reduce the longest path to one pass over the (drifting)
+        T0 weights.
         """
-        indegree = {t: len(self._pred.get(t, ())) for t in self._txns}
-        order: typing.List[int] = [t for t, d in indegree.items() if d == 0]
-        queue = list(order)
-        while queue:
-            node = queue.pop()
-            for nxt in self._succ.get(node, ()):
-                indegree[nxt] -= 1
-                if indegree[nxt] == 0:
-                    order.append(nxt)
-                    queue.append(nxt)
-        if len(order) < len(self._txns):
-            return math.inf  # a cycle kept some node's indegree positive
-        dist = {t: self.t0_weight(t) for t in self._txns}
-        for node in order:
-            for nxt in self._succ.get(node, ()):
-                candidate = dist[node] + self._precedence[(node, nxt)]
-                if candidate > dist[nxt]:
-                    dist[nxt] = candidate
-        return max(dist.values(), default=0.0)
+        level = self._level
+        for i, j in self._precedence:
+            if level[i] >= level[j]:
+                return math.inf
+        longest = self._longest
+        t0_weight = self.t0_weight
+        best = 0.0
+        for txn_id in self._txns:
+            value = t0_weight(txn_id) + longest[txn_id]
+            if value > best:
+                best = value
+        return best
+
+    def _recompute_longest(self) -> typing.Dict[int, float]:
+        """Reference backward recompute of all suffix distances."""
+        result: typing.Dict[int, float] = {}
+        for node in sorted(self._txns, key=self._level.__getitem__, reverse=True):
+            best = 0.0
+            for s in self._succ.get(node, ()):
+                cand = self._precedence[(node, s)] + result[s]
+                if cand > best:
+                    best = cand
+            result[node] = best
+        return result
 
     # -- hypothetical evaluation (LOW's E function) -----------------------------
 
@@ -449,23 +696,55 @@ class WTPG:
     ) -> float:
         """E(q) of Fig. 5: critical path after granting q, or inf on deadlock.
 
-        The evaluation works on a scratch copy; the real graph is
-        untouched.
+        The fixes (direct and transitive) are applied against the live
+        structure under an undo journal and rolled back before returning;
+        the graph the caller sees is untouched.
         """
-        scratch = self._scratch_copy()
-        fixes = scratch.fixes_for_grant(txn_id, file_id)
-        if scratch.creates_cycle(fixes):
+        fixes = self.fixes_for_grant(txn_id, file_id)
+        if self.creates_cycle(fixes):
             return math.inf
-        for i, j in fixes:
-            scratch.apply_fix(i, j)
-        scratch.propagate_transitive_fixes()
-        return scratch.critical_path_length()
+        if self._journal is not None:
+            raise RuntimeError("nested hypothetical evaluation")
+        journal: typing.List[typing.Tuple] = []
+        self._journal = journal
+        version = self.structure_version
+        try:
+            for i, j in fixes:
+                self.apply_fix(i, j)
+            self.propagate_transitive_fixes(touched=fixes)
+            return self.critical_path_length()
+        finally:
+            self._journal = None
+            self._rollback(journal)
+            self.structure_version = version
+
+    def _rollback(self, journal: typing.List[typing.Tuple]) -> None:
+        """Undo journaled mutations in reverse order."""
+        for entry in reversed(journal):
+            kind = entry[0]
+            if kind == "longest":
+                self._longest[entry[1]] = entry[2]
+            elif kind == "level":
+                self._level[entry[1]] = entry[2]
+            elif kind == "edge":
+                _, i, j = entry
+                del self._precedence[(i, j)]
+                self._succ[i].discard(j)
+                self._pred[j].discard(i)
+            else:  # "conflict"
+                _, key, edge = entry
+                self._conflicts[key] = edge
+                i, j = tuple(key)
+                self._conflict_adj[i].add(j)
+                self._conflict_adj[j].add(i)
 
     def _scratch_copy(self) -> "WTPG":
         """Copy sharing transactions but with private edge/level state.
 
         Subclass-aware: extension WTPGs (e.g. the resource-aware variant)
         keep their extra weighting state in hypothetical evaluations.
+        Kept as the reference evaluation path (tests compare it against
+        the journal-based one).
         """
         copy = type(self).__new__(type(self))
         copy.__dict__.update(self.__dict__)
@@ -480,13 +759,17 @@ class WTPG:
         copy._readers = {k: set(v) for k, v in self._readers.items()}
         copy._writers = {k: set(v) for k, v in self._writers.items()}
         copy._level = dict(self._level)
+        copy._longest = dict(self._longest)
+        copy._journal = None
+        copy._chain_cache = None
         return copy
 
     def check_invariants(self) -> None:
         """Assert internal consistency (test hook).
 
-        Verifies adjacency mirrors the edge dicts and that every
-        precedence edge satisfies the level invariant.
+        Verifies adjacency mirrors the edge dicts, that every precedence
+        edge satisfies the level invariant, and that the maintained
+        suffix distances match a full backward recompute bit-for-bit.
         """
         for (i, j) in self._precedence:
             assert j in self._succ.get(i, set()), (i, j)
@@ -504,6 +787,13 @@ class WTPG:
         for node, succ in self._succ.items():
             for s in succ:
                 assert (node, s) in self._precedence
+        reference = self._recompute_longest()
+        for node, expected in reference.items():
+            assert self._longest[node] == expected, (
+                node,
+                self._longest[node],
+                expected,
+            )
 
     def __repr__(self) -> str:
         return (

@@ -9,6 +9,10 @@ from __future__ import annotations
 
 import heapq
 import typing
+from time import perf_counter as _perf_counter
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 from repro.des.events import AllOf, AnyOf, Event, Timeout
 from repro.obs.profile import NULL_PROFILER, SimProfiler
@@ -33,9 +37,11 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0, strict: bool = True) -> None:
         self._now = float(initial_time)
-        self._queue: typing.List[
-            typing.Tuple[float, int, int, Event]
-        ] = []  # (time, priority, seq, event)
+        #: (time, key, event) with key = (priority << 62) | seq -- one
+        #: packed int keeps entries at three slots while preserving the
+        #: (time, priority, seq) order exactly, and the unique seq means
+        #: Event objects are never compared
+        self._queue: typing.List[typing.Tuple[float, int, Event]] = []
         self._seq = 0
         self._active_process: typing.Optional[Process] = None
         #: when True, exceptions escaping a process propagate out of run()
@@ -104,17 +110,14 @@ class Environment:
     ) -> None:
         """Enqueue a triggered event to fire ``delay`` from now."""
         self._seq += 1
+        entry = (self._now + delay, (priority << 62) | self._seq, event)
         profile = self.profile
         if profile.enabled:
-            profile.push("des.heap")
-            heapq.heappush(
-                self._queue, (self._now + delay, priority, self._seq, event)
-            )
-            profile.pop()
+            start = _perf_counter()
+            _heappush(self._queue, entry)
+            profile.span("des.heap", start, _perf_counter())
         else:
-            heapq.heappush(
-                self._queue, (self._now + delay, priority, self._seq, event)
-            )
+            _heappush(self._queue, entry)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
@@ -126,11 +129,11 @@ class Environment:
             raise StopSimulation("event queue is empty")
         profile = self.profile
         if profile.enabled:
-            profile.push("des.heap")
-            when, _priority, _seq, event = heapq.heappop(self._queue)
-            profile.pop()
+            start = _perf_counter()
+            when, _key, event = _heappop(self._queue)
+            profile.span("des.heap", start, _perf_counter())
         else:
-            when, _priority, _seq, event = heapq.heappop(self._queue)
+            when, _key, event = _heappop(self._queue)
         sampler = self.sampler
         if sampler is not None and when >= sampler.next_due:
             # sample every boundary the clock is about to cross, before
@@ -143,7 +146,7 @@ class Environment:
             self._progress_next = self.events_processed + self.progress_every
             progress(self._now, self.events_processed)
         callbacks, event.callbacks = event.callbacks, []
-        event._mark_processed()
+        event._processed = True
         for callback in callbacks:
             callback(event)
 
@@ -181,12 +184,18 @@ class Environment:
                     f"until={stop_at} lies in the past (now={self._now})"
                 )
 
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
-                break
-            if self.peek() >= stop_at:
-                break
-            self.step()
+        queue = self._queue
+        step = self.step
+        if stop_event is None:
+            while queue and queue[0][0] < stop_at:
+                step()
+        else:
+            while queue:
+                if stop_event._processed:
+                    break
+                if queue[0][0] >= stop_at:
+                    break
+                step()
 
         if stop_event is not None:
             if not stop_event.processed:

@@ -116,7 +116,11 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: object = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
+        # slots are assigned directly (not via Event.__init__): timeouts
+        # are the single most-constructed object in a run
+        self.env = env
+        self.callbacks = []
+        self._processed = False
         self.delay = delay
         self._ok = True
         self._value = value

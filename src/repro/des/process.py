@@ -71,36 +71,38 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         try:
-            if event.ok:
-                next_target = self.generator.send(event.value)
+            if event._ok:
+                next_target = self.generator.send(event._value)
             else:
                 next_target = self.generator.throw(
-                    typing.cast(BaseException, event.value)
+                    typing.cast(BaseException, event._value)
                 )
         except StopIteration as stop:
             self._target = None
+            env._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
             self._target = None
-            if self.env.strict:
+            env._active_process = None
+            if env.strict:
                 raise
             self.fail(exc)
             return
-        finally:
-            self.env._active_process = None
+        env._active_process = None
 
         if not isinstance(next_target, Event):
             raise TypeError(
                 f"process {self.name!r} yielded {next_target!r}, "
                 "which is not an Event"
             )
-        if next_target.env is not self.env:
+        if next_target.env is not env:
             raise ValueError("yielded event belongs to another environment")
         self._target = next_target
-        if next_target.processed:
+        if next_target._processed:
             # Already fired and processed: resume on the next scheduling slot.
             relay = Event(self.env)
             relay.callbacks.append(self._resume)

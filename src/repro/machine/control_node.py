@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 import typing
 
-from repro.des import Environment, Resource
+from repro.des import Environment, Resource, Timeout
 from repro.des.monitor import Counter, TimeWeighted
 from repro.machine.config import MachineConfig
 from repro.obs.timeseries import (
@@ -49,24 +49,32 @@ class ControlNode:
         if cost_ms == 0:
             return
         scaled = self.config.scaled(cost_ms)
-        with self.cpu.request() as req:
+        env = self.env
+        busy = self.busy
+        trace = self._trace
+        cpu = self.cpu
+        # explicit request/release (not ``with``): this generator runs
+        # once per modelled CPU slice, and the context-manager protocol
+        # adds two calls per slice for the same try/finally
+        req = cpu.request()
+        try:
             yield req
-            self.busy.update(self.env.now, 1.0)
-            if self._trace.enabled:
-                self._trace.emit(
-                    self.env.now, "cn.exec_start",
+            if busy.value != 1.0:
+                busy.update(env.now, 1.0)
+            if trace.enabled:
+                trace.emit(
+                    env.now, "cn.exec_start",
                     category=category, cost_ms=scaled,
                 )
-            yield self.env.timeout(scaled)
-            self.cpu_ms_by_category[category] = (
-                self.cpu_ms_by_category.get(category, 0.0) + scaled
-            )
-            if self._trace.enabled:
-                self._trace.emit(
-                    self.env.now, "cn.exec_end", category=category
-                )
-            if self.cpu.queue_length == 0:
-                self.busy.update(self.env.now, 0.0)
+            yield Timeout(env, scaled)
+            categories = self.cpu_ms_by_category
+            categories[category] = categories.get(category, 0.0) + scaled
+            if trace.enabled:
+                trace.emit(env.now, "cn.exec_end", category=category)
+            if not cpu._waiting:
+                busy.update(env.now, 0.0)
+        finally:
+            cpu.release(req)
 
     def send_message(self) -> typing.Generator:
         """CPU work for sending one message (plus wire delay if any)."""

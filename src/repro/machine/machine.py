@@ -28,7 +28,7 @@ from repro.obs.timeseries import (
 class StepExecution:
     """Live progress of one step's scan (drives WTPG T0-weight updates)."""
 
-    __slots__ = ("file_id", "declared_cost", "cohorts")
+    __slots__ = ("file_id", "declared_cost", "cohorts", "_total_objects")
 
     def __init__(
         self, file_id: int, declared_cost: float, cohorts: typing.List[Cohort]
@@ -36,10 +36,14 @@ class StepExecution:
         self.file_id = file_id
         self.declared_cost = declared_cost
         self.cohorts = cohorts
+        # cohort demands are fixed at construction, so the denominator
+        # of fraction_done() -- evaluated per WTPG node per scheduler
+        # decision -- is summed once (same association as the property)
+        self._total_objects = sum(c.objects for c in cohorts)
 
     @property
     def total_objects(self) -> float:
-        return sum(c.objects for c in self.cohorts)
+        return self._total_objects
 
     @property
     def scanned_objects(self) -> float:
@@ -47,10 +51,14 @@ class StepExecution:
 
     def fraction_done(self) -> float:
         """Scanned fraction in [0, 1]; zero-cost steps count as done."""
-        total = self.total_objects
+        total = self._total_objects
         if total <= 0:
             return 1.0
-        return min(1.0, self.scanned_objects / total)
+        scanned = 0.0
+        for cohort in self.cohorts:
+            scanned += cohort.scanned
+        fraction = scanned / total
+        return fraction if fraction < 1.0 else 1.0
 
 
 class SharedNothingMachine:

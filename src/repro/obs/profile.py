@@ -35,6 +35,8 @@ from __future__ import annotations
 import time
 import typing
 
+_perf_counter = time.perf_counter
+
 #: canonical reporting order of the instrumented phases
 PHASES: typing.Tuple[str, ...] = (
     "des.heap",
@@ -57,6 +59,17 @@ class SimProfiler:
 
     def pop(self) -> None:
         """Close the innermost phase (no-op when disabled)."""
+
+    def span(self, phase: str, start: float, end: float) -> None:
+        """Attribute the ``[start, end]`` interval to ``phase``.
+
+        Equivalent to a ``push(phase)`` at ``start`` followed by a
+        ``pop()`` at ``end``, fused into one call for instrumentation
+        sites that bracket a single short operation (the event-heap
+        push/pop): the caller reads the clock twice and hands both
+        stamps over, avoiding the per-call stack churn.  No-op when
+        disabled.
+        """
 
 
 class NullProfiler(SimProfiler):
@@ -81,20 +94,38 @@ class PhaseProfiler(SimProfiler):
         self._stack: typing.List[typing.Tuple[str, float]] = []
 
     def push(self, phase: str) -> None:
-        now = time.perf_counter()
-        if self._stack:
-            parent, since = self._stack[-1]
-            self.seconds[parent] = self.seconds.get(parent, 0.0) + (now - since)
-        self._stack.append((phase, now))
-        self.calls[phase] = self.calls.get(phase, 0) + 1
+        now = _perf_counter()
+        stack = self._stack
+        if stack:
+            seconds = self.seconds
+            parent, since = stack[-1]
+            seconds[parent] = seconds.get(parent, 0.0) + (now - since)
+        stack.append((phase, now))
+        calls = self.calls
+        calls[phase] = calls.get(phase, 0) + 1
 
     def pop(self) -> None:
-        now = time.perf_counter()
-        phase, since = self._stack.pop()
-        self.seconds[phase] = self.seconds.get(phase, 0.0) + (now - since)
-        if self._stack:
-            parent, _ = self._stack[-1]
-            self._stack[-1] = (parent, now)
+        now = _perf_counter()
+        stack = self._stack
+        phase, since = stack.pop()
+        seconds = self.seconds
+        seconds[phase] = seconds.get(phase, 0.0) + (now - since)
+        if stack:
+            parent, _ = stack[-1]
+            stack[-1] = (parent, now)
+
+    def span(self, phase: str, start: float, end: float) -> None:
+        seconds = self.seconds
+        stack = self._stack
+        if stack:
+            # exclusive attribution: carve the interval out of the
+            # enclosing phase exactly as a nested push/pop pair would
+            parent, since = stack[-1]
+            seconds[parent] = seconds.get(parent, 0.0) + (start - since)
+            stack[-1] = (parent, end)
+        seconds[phase] = seconds.get(phase, 0.0) + (end - start)
+        calls = self.calls
+        calls[phase] = calls.get(phase, 0) + 1
 
     def reset(self) -> None:
         """Drop everything accumulated so far."""
@@ -147,18 +178,21 @@ def profiled(
     """
     send_value: typing.Any = None
     thrown: typing.Optional[BaseException] = None
+    push = profiler.push
+    pop = profiler.pop
+    send = gen.send
     while True:
-        profiler.push(phase)
+        push(phase)
         try:
             if thrown is not None:
                 exc, thrown = thrown, None
                 item = gen.throw(exc)
             else:
-                item = gen.send(send_value)
+                item = send(send_value)
         except StopIteration as stop:
             return stop.value
         finally:
-            profiler.pop()
+            pop()
         try:
             send_value = yield item
         except GeneratorExit:

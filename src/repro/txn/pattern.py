@@ -42,6 +42,9 @@ class Pattern:
     for ``F1`` and ``F2``).
     """
 
+    #: per-pattern instantiation memo size bound (distinct bindings)
+    _MEMO_LIMIT = 4096
+
     def __init__(self, steps: typing.Sequence[PatternStep]) -> None:
         if not steps:
             raise PatternError("a pattern needs at least one step")
@@ -50,6 +53,11 @@ class Pattern:
         for step in self.steps:
             seen.setdefault(step.placeholder, None)
         self.placeholders: typing.List[str] = list(seen)
+        #: resolved-binding tuple -> shared Step list (Steps are frozen,
+        #: so instances may be shared across transactions)
+        self._memo: typing.Dict[
+            typing.Tuple[int, ...], typing.List[Step]
+        ] = {}
 
     @classmethod
     def parse(cls, text: str) -> "Pattern":
@@ -87,21 +95,33 @@ class Pattern:
         """Concrete steps with placeholders replaced per ``binding``.
 
         Literal integer "placeholders" bind to themselves unless
-        overridden.
+        overridden.  Resolution is memoised per distinct binding: the
+        workloads draw the same few file combinations over and over, and
+        :class:`Step` is frozen, so step objects are shared.
         """
-        steps = []
-        for pattern_step in self.steps:
-            name = pattern_step.placeholder
+        resolved = []
+        for name in self.placeholders:
             if name in binding:
-                file_id = binding[name]
+                resolved.append(binding[name])
             elif name.isdigit():
-                file_id = int(name)
+                resolved.append(int(name))
             else:
                 raise PatternError(f"no binding for placeholder {name!r}")
-            steps.append(
-                Step(file_id=file_id, mode=pattern_step.mode, cost=pattern_step.cost)
-            )
-        return steps
+        key = tuple(resolved)
+        steps = self._memo.get(key)
+        if steps is None:
+            lookup = dict(zip(self.placeholders, resolved))
+            steps = [
+                Step(
+                    file_id=lookup[pattern_step.placeholder],
+                    mode=pattern_step.mode,
+                    cost=pattern_step.cost,
+                )
+                for pattern_step in self.steps
+            ]
+            if len(self._memo) < self._MEMO_LIMIT:
+                self._memo[key] = steps
+        return list(steps)
 
     @property
     def total_cost(self) -> float:

@@ -86,12 +86,31 @@ class BatchTransaction:
             elif step.mode.is_write and not current.is_write:
                 self._mode_by_file[step.file_id] = AccessMode.EXCLUSIVE
 
+        # The declared shape never changes after construction, so the
+        # derived views schedulers hammer per decision are precomputed:
+        # the first-need file order, the access sets, and the suffix
+        # sums of the declared costs (computed with the same
+        # left-to-right association as a fresh ``sum`` over the slice).
+        self._files: typing.List[int] = sorted(
+            self._first_need, key=self._first_need.__getitem__
+        )
+        self._read_set: typing.FrozenSet[int] = frozenset(self._mode_by_file)
+        self._write_set: typing.FrozenSet[int] = frozenset(
+            f for f, m in self._mode_by_file.items() if m.is_write
+        )
+        self._cost_from_step: typing.List[float] = [
+            sum(declared[i:]) for i in range(len(declared) + 1)
+        ]
+
     # -- static shape -------------------------------------------------------
 
     @property
     def files(self) -> typing.List[int]:
-        """Distinct files touched, in first-need order."""
-        return sorted(self._first_need, key=self._first_need.__getitem__)
+        """Distinct files touched, in first-need order.
+
+        The returned list is a shared cache; callers must not mutate it.
+        """
+        return self._files
 
     def mode_for(self, file_id: int) -> AccessMode:
         """Strongest access mode the transaction ever needs on the file."""
@@ -107,14 +126,14 @@ class BatchTransaction:
         return mode is not None and mode.is_write
 
     @property
-    def read_set(self) -> typing.Set[int]:
+    def read_set(self) -> typing.FrozenSet[int]:
         """Files accessed in any mode (OPT validation reads everything it scans)."""
-        return set(self._mode_by_file)
+        return self._read_set
 
     @property
-    def write_set(self) -> typing.Set[int]:
+    def write_set(self) -> typing.FrozenSet[int]:
         """Files the transaction writes."""
-        return {f for f, m in self._mode_by_file.items() if m.is_write}
+        return self._write_set
 
     def conflicts_with(self, other: "BatchTransaction") -> bool:
         """Declared-access conflict: a shared file one of the two writes."""
@@ -132,13 +151,13 @@ class BatchTransaction:
 
     @property
     def total_declared_cost(self) -> float:
-        return sum(self.declared_costs)
+        return self._cost_from_step[0]
 
     def declared_cost_from_step(self, index: int) -> float:
         """Declared I/O from step ``index`` (inclusive) to commitment."""
         if not 0 <= index <= len(self.steps):
             raise IndexError(f"step index {index} out of range")
-        return sum(self.declared_costs[index:])
+        return self._cost_from_step[index]
 
     def blocked_step_against(self, other: "BatchTransaction") -> int:
         """Index of this transaction's first step conflicting with ``other``.
@@ -165,12 +184,14 @@ class BatchTransaction:
         index = self.current_step_index
         if index >= len(self.steps):
             return 0.0
-        remaining = self.declared_cost_from_step(index + 1)
+        # hot path (T0 weight of every WTPG node per critical-path
+        # evaluation): index the precomputed suffix sums directly --
+        # ``index + 1`` is in range because ``index < len(steps)``
+        remaining = self._cost_from_step[index + 1]
         current_declared = self.declared_costs[index]
-        if self.current_execution is not None:
-            remaining += current_declared * (
-                1.0 - self.current_execution.fraction_done()
-            )
+        execution = self.current_execution
+        if execution is not None:
+            remaining += current_declared * (1.0 - execution.fraction_done())
         else:
             remaining += current_declared
         return remaining

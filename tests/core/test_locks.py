@@ -104,3 +104,51 @@ class TestGrantRelease:
         table.grant(1, 1, S)
         table.grant(1, 3, X)
         assert table.files_held_by(1) == [1, 3]
+
+
+class TestSparseRepresentation:
+    """The table stores held files only -- size follows holdings, not
+    ``num_files`` (regression tests for the sparse rewrite)."""
+
+    def test_huge_table_constructs_without_per_file_state(self):
+        # a dense list of 10**9 FileLocks would exhaust memory; the
+        # sparse table allocates nothing per file
+        table = LockTable(num_files=10**9)
+        assert table._locks == {}
+        assert table._held_by == {}
+        assert table.held_count() == 0
+
+    def test_huge_table_grant_release_roundtrip(self):
+        table = LockTable(num_files=10**9)
+        table.grant(1, 999_999_999, X)
+        assert table.held_count() == 1
+        assert table.holds(1, 999_999_999)
+        table.release(1, 999_999_999)
+        assert table.held_count() == 0
+        assert table._locks == {}
+
+    def test_held_count_tracks_table_size_exactly(self, table):
+        assert table.held_count() == 0
+        table.grant(1, 0, X)
+        table.grant(1, 2, S)
+        table.grant(2, 2, S)  # second holder, same file
+        assert table.held_count() == 2
+        assert table.held_count() == len(table._locks)
+        table.release(1, 2)
+        assert table.held_count() == 2  # T2 still holds F2
+        table.release(2, 2)
+        assert table.held_count() == 1
+
+    def test_release_all_sorted_and_state_dropped(self, table):
+        table.grant(1, 3, S)
+        table.grant(1, 0, X)
+        table.grant(1, 2, S)
+        assert table.release_all(1) == [0, 2, 3]
+        assert table.held_count() == 0
+        assert 1 not in table._held_by
+
+    def test_free_files_never_materialise_entries(self, table):
+        table.is_compatible(3, X)
+        assert table.holders(3) == set()
+        assert table.mode_of(3) is None
+        assert table._locks == {}
