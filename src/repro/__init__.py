@@ -20,6 +20,8 @@ Packages:
 - :mod:`repro.txn` -- batch transactions, patterns, workloads.
 - :mod:`repro.core` -- the WTPG and the six schedulers (the paper's
   contribution).
+- :mod:`repro.schedulers` -- scheduler families beyond the paper's six
+  (the modern arena line-up: DGCC, CAR, PRED).
 - :mod:`repro.obs` -- always-available tracing (recorders, exporters).
 - :mod:`repro.sim` -- simulation runs, metrics, operating-point search.
 - :mod:`repro.runner` -- parallel batch execution with result caching.
@@ -61,6 +63,10 @@ from repro.txn import (
     experiment2_workload,
     experiment3_workload,
 )
+
+# Imported last (it needs repro.core fully initialised): registers the
+# modern scheduler families so any `import repro` sees the full roster.
+import repro.schedulers.modern  # noqa: E402,F401
 
 __version__ = "1.0.0"
 

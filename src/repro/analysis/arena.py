@@ -1,0 +1,349 @@
+"""The scheduler arena: a pinned head-to-head matrix with a report.
+
+The paper compares six 1991 schedulers; the arena re-asks its question
+-- how much does concurrency control cost, and how much does parallelism
+buy back -- across the full registered roster, modern families included.
+A pinned ``scheduler x rate x DD`` matrix fans out through the cached
+:class:`~repro.runner.ParallelRunner`; the outcome is a JSON artifact
+(machine-checkable, schema-versioned) plus a markdown head-to-head
+report, both written under ``results/arena/`` by ``python -m repro
+arena``.
+
+Two passes feed one report:
+
+1. **Metrics pass** -- ``run_batch`` over the matrix (byte-deterministic
+   and cache-served on repeats): throughput, response times, abort rate,
+   contention counters, utilisation.
+2. **Phase pass** (optional) -- ``run_bench`` over the same specs: the
+   self-profiler's per-phase wall-clock split, answering *where* each
+   scheduler spends its time (scheduler decisions vs. lock manager vs.
+   machine scan).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing
+
+from repro.core.registry import FAMILIES, family_of, grid_schedulers
+from repro.runner.spec import RunSpec, WorkloadSpec
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.runner.runner import ParallelRunner
+    from repro.sim.metrics import SimulationResult
+
+#: bump when the arena artifact layout changes incompatibly
+ARENA_SCHEMA_VERSION = 1
+
+#: the pinned default matrix axes
+DEFAULT_RATES = (0.8, 1.2)
+DEFAULT_DDS = (1, 4)
+DEFAULT_DURATION_MS = 150_000.0
+DEFAULT_WARMUP_MS = 30_000.0
+
+#: per-cell metric fields every artifact must carry
+CELL_FIELDS = (
+    "scheduler",
+    "family",
+    "rate_tps",
+    "dd",
+    "seed",
+    "completed",
+    "throughput_tps",
+    "mean_response_s",
+    "p95_response_s",
+    "abort_rate",
+    "blocks",
+    "delays",
+    "restarts",
+    "admission_rejections",
+    "cn_utilisation",
+    "dpn_utilisation",
+)
+
+
+def scheduler_family(name: str) -> str:
+    """Family tag for a (possibly parameterised) scheduler name:
+    ``DGCC(B=16)`` resolves through its base name ``DGCC``."""
+    return family_of(name.split("(", 1)[0])
+
+
+def arena_specs(
+    schedulers: typing.Sequence[str],
+    rates: typing.Sequence[float] = DEFAULT_RATES,
+    dds: typing.Sequence[int] = DEFAULT_DDS,
+    *,
+    workload: str = "exp1",
+    num_files: int = 16,
+    sigma: float = 1.0,
+    seed: int = 0,
+    duration_ms: float = DEFAULT_DURATION_MS,
+    warmup_ms: float = DEFAULT_WARMUP_MS,
+) -> typing.List[RunSpec]:
+    """The matrix as RunSpecs, in (rate, dd, scheduler) order."""
+
+    def _workload(rate: float) -> WorkloadSpec:
+        if workload == "exp2":
+            return WorkloadSpec.make("exp2", rate)
+        if workload == "exp3":
+            return WorkloadSpec.make(
+                "exp3", rate, sigma=sigma, num_files=num_files
+            )
+        return WorkloadSpec.make("exp1", rate, num_files=num_files)
+
+    from repro.machine.config import MachineConfig
+
+    return [
+        RunSpec(
+            scheduler=scheduler,
+            workload=_workload(rate),
+            config=MachineConfig(dd=dd, num_files=num_files),
+            seed=seed,
+            duration_ms=duration_ms,
+            warmup_ms=warmup_ms,
+        )
+        for rate in rates
+        for dd in dds
+        for scheduler in schedulers
+    ]
+
+
+def _abort_rate(result: "SimulationResult") -> float:
+    attempts = result.completed + result.restarts
+    return result.restarts / attempts if attempts else 0.0
+
+
+def _phase_summary(
+    row: typing.Optional[typing.Dict[str, typing.Any]],
+) -> typing.Optional[typing.Dict[str, float]]:
+    """Per-phase wall-second split of one bench row (None -> no pass)."""
+    if row is None:
+        return None
+    profile = row.get("profile", {})
+    phases = {
+        name: data["seconds"]
+        for name, data in profile.get("phases", {}).items()
+    }
+    if "other_s" in profile:
+        phases["other"] = profile["other_s"]
+    return phases
+
+
+def arena_payload(
+    specs: typing.Sequence[RunSpec],
+    results: typing.Sequence[typing.Optional["SimulationResult"]],
+    bench_rows: typing.Optional[
+        typing.Sequence[typing.Optional[typing.Dict[str, typing.Any]]]
+    ] = None,
+    *,
+    git_sha: typing.Optional[str] = None,
+    created: typing.Optional[str] = None,
+) -> typing.Dict[str, typing.Any]:
+    """Assemble the schema-versioned arena artifact.
+
+    ``results`` aligns with ``specs`` (None marks a failed cell, which
+    is dropped with a note); ``bench_rows`` optionally aligns too and
+    contributes the per-phase cost split.
+    """
+    if len(results) != len(specs):
+        raise ValueError(
+            f"results/specs length mismatch: {len(results)} vs {len(specs)}"
+        )
+    if bench_rows is not None and len(bench_rows) != len(specs):
+        raise ValueError(
+            f"bench_rows/specs length mismatch: "
+            f"{len(bench_rows)} vs {len(specs)}"
+        )
+    cells = []
+    failed = 0
+    for index, (spec, result) in enumerate(zip(specs, results)):
+        if result is None:
+            failed += 1
+            continue
+        cell: typing.Dict[str, typing.Any] = {
+            "scheduler": spec.scheduler,
+            "family": scheduler_family(spec.scheduler),
+            "workload": spec.workload.kind,
+            "rate_tps": spec.workload.rate_tps,
+            "dd": spec.config.dd,
+            "seed": spec.seed,
+            "duration_ms": spec.duration_ms,
+            "warmup_ms": spec.warmup_ms,
+            "completed": result.completed,
+            "throughput_tps": round(result.throughput_tps, 6),
+            "mean_response_s": round(result.mean_response_s, 6),
+            "p95_response_s": round(result.p95_response_ms / 1000.0, 6),
+            "abort_rate": round(_abort_rate(result), 6),
+            "blocks": result.blocks,
+            "delays": result.delays,
+            "restarts": result.restarts,
+            "admission_rejections": result.admission_rejections,
+            "cn_utilisation": round(result.cn_utilisation, 6),
+            "dpn_utilisation": round(result.dpn_utilisation, 6),
+        }
+        phase = _phase_summary(
+            bench_rows[index] if bench_rows is not None else None
+        )
+        if phase is not None:
+            cell["phase_cost_s"] = phase
+        cells.append(cell)
+    payload: typing.Dict[str, typing.Any] = {
+        "schema": ARENA_SCHEMA_VERSION,
+        "kind": "arena",
+        "cells": cells,
+        "failed_cells": failed,
+    }
+    if git_sha:
+        payload["git_sha"] = git_sha
+    if created:
+        payload["created"] = created
+    return payload
+
+
+def validate_arena(payload: typing.Dict[str, typing.Any]) -> int:
+    """Schema-check an arena artifact; returns the cell count.
+
+    Raises ``ValueError`` with a pinpointed message on the first
+    violation (the arena-smoke CI job runs this against a fresh
+    artifact).
+    """
+    if payload.get("kind") != "arena":
+        raise ValueError(f"kind must be 'arena', got {payload.get('kind')!r}")
+    if payload.get("schema") != ARENA_SCHEMA_VERSION:
+        raise ValueError(
+            f"schema must be {ARENA_SCHEMA_VERSION}, "
+            f"got {payload.get('schema')!r}"
+        )
+    cells = payload.get("cells")
+    if not isinstance(cells, list) or not cells:
+        raise ValueError("cells must be a non-empty list")
+    for index, cell in enumerate(cells):
+        for field in CELL_FIELDS:
+            if field not in cell:
+                raise ValueError(f"cell {index} is missing {field!r}")
+        if cell["family"] not in FAMILIES:
+            raise ValueError(
+                f"cell {index} has unknown family {cell['family']!r}"
+            )
+        phases = cell.get("phase_cost_s")
+        if phases is not None and not isinstance(phases, dict):
+            raise ValueError(f"cell {index} phase_cost_s must be a mapping")
+    return len(cells)
+
+
+def _groups(
+    cells: typing.Sequence[typing.Dict[str, typing.Any]],
+) -> typing.List[
+    typing.Tuple[
+        typing.Tuple[str, float, int],
+        typing.List[typing.Dict[str, typing.Any]],
+    ]
+]:
+    """Cells grouped by (workload, rate, dd), in first-seen order."""
+    order: typing.List[typing.Tuple[str, float, int]] = []
+    grouped: typing.Dict[
+        typing.Tuple[str, float, int],
+        typing.List[typing.Dict[str, typing.Any]],
+    ] = {}
+    for cell in cells:
+        key = (cell["workload"], cell["rate_tps"], cell["dd"])
+        if key not in grouped:
+            order.append(key)
+            grouped[key] = []
+        grouped[key].append(cell)
+    return [(key, grouped[key]) for key in order]
+
+
+def _hot_phase(cell: typing.Dict[str, typing.Any]) -> str:
+    phases = cell.get("phase_cost_s")
+    if not phases:
+        return "-"
+    name, seconds = max(phases.items(), key=lambda item: item[1])
+    total = sum(phases.values())
+    share = 100.0 * seconds / total if total > 0 else 0.0
+    return f"{name} ({share:.0f}%)"
+
+
+def render_arena_markdown(payload: typing.Dict[str, typing.Any]) -> str:
+    """The head-to-head report as a markdown document."""
+    lines = ["# Scheduler arena", ""]
+    meta_bits = []
+    if payload.get("created"):
+        meta_bits.append(f"generated {payload['created']}")
+    if payload.get("git_sha"):
+        meta_bits.append(f"commit `{payload['git_sha']}`")
+    meta_bits.append(f"{len(payload['cells'])} cells")
+    if payload.get("failed_cells"):
+        meta_bits.append(f"{payload['failed_cells']} failed cell(s) dropped")
+    lines.append("*" + ", ".join(meta_bits) + "*")
+    lines.append("")
+
+    wins: typing.Dict[str, int] = {}
+    for (workload, rate, dd), cells in _groups(payload["cells"]):
+        lines.append(f"## {workload} @ {rate:g} TPS, DD={dd}")
+        lines.append("")
+        lines.append(
+            "| scheduler | family | TPS | mean RT (s) | p95 RT (s) "
+            "| abort rate | blocks | delays | CN util | hot phase |"
+        )
+        lines.append("|---|---|---|---|---|---|---|---|---|---|")
+        best = max(cells, key=lambda c: c["throughput_tps"])
+        wins[best["scheduler"]] = wins.get(best["scheduler"], 0) + 1
+        for cell in cells:
+            marker = " **(best)**" if cell is best else ""
+            lines.append(
+                f"| {cell['scheduler']}{marker} "
+                f"| {cell['family']} "
+                f"| {cell['throughput_tps']:.3f} "
+                f"| {cell['mean_response_s']:.2f} "
+                f"| {cell['p95_response_s']:.2f} "
+                f"| {cell['abort_rate']:.3f} "
+                f"| {cell['blocks']} "
+                f"| {cell['delays']} "
+                f"| {cell['cn_utilisation']:.3f} "
+                f"| {_hot_phase(cell)} |"
+            )
+        lines.append("")
+
+    lines.append("## Head-to-head")
+    lines.append("")
+    lines.append("| scheduler | family | group wins (by TPS) |")
+    lines.append("|---|---|---|")
+    for name in sorted(wins, key=lambda n: (-wins[n], n)):
+        lines.append(
+            f"| {name} | {scheduler_family(name)} | {wins[name]} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_arena(
+    payload: typing.Dict[str, typing.Any],
+    out_dir: typing.Union[str, pathlib.Path],
+) -> typing.Tuple[pathlib.Path, pathlib.Path]:
+    """Write ``ARENA.json`` + ``ARENA.md`` under ``out_dir``."""
+    directory = pathlib.Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    json_path = directory / "ARENA.json"
+    md_path = directory / "ARENA.md"
+    json_path.write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    md_path.write_text(render_arena_markdown(payload), encoding="utf-8")
+    return json_path, md_path
+
+
+def load_arena(
+    path: typing.Union[str, pathlib.Path],
+) -> typing.Dict[str, typing.Any]:
+    """Read and schema-check an arena artifact."""
+    payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    validate_arena(payload)
+    return payload
+
+
+def default_arena_schedulers() -> typing.Tuple[str, ...]:
+    """The pinned line-up: every grid-eligible paper + modern scheduler."""
+    return grid_schedulers(("paper", "modern"))

@@ -39,11 +39,13 @@ DEFAULT_TOLERANCE = 0.25
 
 #: the pinned measurement matrix: (scheduler, rate_tps, dd) cells.
 #: Chosen to cover the cost spectrum -- C2PL (predeclared locking),
-#: GOW/LOW (WTPG maintenance), OPT (validation), 2PL (deadlock tests) --
-#: at a light and a heavy arrival rate, partitioned and declustered.
+#: GOW/LOW (WTPG maintenance), OPT (validation), 2PL (deadlock tests),
+#: and the modern arena line-up DGCC/CAR/PRED (admission-order grant
+#: rule plus batch/queue/prediction bookkeeping) -- at a light and a
+#: heavy arrival rate, partitioned and declustered.
 BENCH_MATRIX: typing.Tuple[typing.Tuple[str, float, int], ...] = tuple(
     (scheduler, rate, dd)
-    for scheduler in ("C2PL", "GOW", "LOW", "OPT", "2PL")
+    for scheduler in ("C2PL", "GOW", "LOW", "OPT", "2PL", "DGCC", "CAR", "PRED")
     for rate in (0.8, 1.2)
     for dd in (1, 4)
 )
@@ -60,6 +62,9 @@ BENCH_QUICK_MATRIX: typing.Tuple[typing.Tuple[str, float, int], ...] = (
     ("LOW", 1.2, 1),
     ("LOW", 1.2, 4),
     ("OPT", 1.2, 4),
+    ("DGCC", 1.2, 1),
+    ("CAR", 1.2, 4),
+    ("PRED", 1.2, 1),
 )
 
 #: default simulated horizon of one bench cell (ms); CI uses a shorter
@@ -195,8 +200,8 @@ def _run_key(row: typing.Mapping[str, typing.Any]) -> RunKey:
 #: fraction of matched cells regressed -- single-cell wall-clock noise
 #: routinely exceeds any usable per-cell tolerance on shared hardware,
 #: while a real slowdown hits the aggregate or a whole scheduler's
-#: cells (4/20 of the pinned matrix)
-REGRESSION_QUORUM = 0.2
+#: cells (4/32 of the pinned matrix)
+REGRESSION_QUORUM = 0.125
 
 
 def compare_bench(

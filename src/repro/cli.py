@@ -16,7 +16,10 @@ Commands:
 - ``runs``        -- ``list``/``show`` the persistent run registry.
 - ``tail``        -- follow a batch's telemetry stream, one line per
   record, validating each against the telemetry schema.
-- ``schedulers``  -- list the registered schedulers.
+- ``arena``       -- the pinned scheduler x rate x DD head-to-head
+  matrix through the cached runner -> ``results/arena/ARENA.{json,md}``.
+- ``schedulers``  -- list the registered schedulers with family tags
+  (paper / extension / modern) and descriptions.
 - ``experiments`` -- list the paper's tables/figures and how to run them.
 """
 
@@ -29,8 +32,9 @@ import time
 import typing
 
 from repro import bench as bench_mod
+from repro.analysis import arena as arena_mod
 from repro.analysis import render_table
-from repro.core.registry import available
+from repro.core.registry import available, entries
 from repro.machine.config import MachineConfig
 from repro.obs import (
     MemoryRecorder,
@@ -190,8 +194,8 @@ def build_parser() -> argparse.ArgumentParser:
                           f"(default {bench_mod.DEFAULT_DURATION_MS:g})")
     ben.add_argument("--seed", type=int, default=0)
     ben.add_argument("--quick", action="store_true",
-                     help="run the reduced 6-cell per-PR matrix instead "
-                          "of the full 20-cell one")
+                     help="run the reduced 9-cell per-PR matrix instead "
+                          "of the full 32-cell one")
     ben.add_argument("--repeats", type=int, default=3,
                      help="simulate each cell N times, report the fastest "
                           "(default 3; the noise filter)")
@@ -244,7 +248,50 @@ def build_parser() -> argparse.ArgumentParser:
     tal.add_argument("--once", action="store_true",
                      help="print what is there now and exit (for CI)")
 
-    sub.add_parser("schedulers", help="list registered schedulers")
+    arn = sub.add_parser(
+        "arena",
+        help="head-to-head scheduler matrix -> markdown + JSON report",
+    )
+    arn.add_argument("--schedulers", default="",
+                     help="comma-separated names; default: every "
+                          "grid-eligible paper + modern scheduler")
+    arn.add_argument("--rates", default="0.8,1.2",
+                     help="comma-separated arrival rates in TPS "
+                          "(default 0.8,1.2)")
+    arn.add_argument("--dds", default="1,4",
+                     help="comma-separated declustering degrees "
+                          "(default 1,4)")
+    arn.add_argument("--workload", choices=("exp1", "exp2", "exp3"),
+                     default="exp1")
+    arn.add_argument("--num-files", type=int, default=16)
+    arn.add_argument("--sigma", type=float, default=1.0,
+                     help="declaration-error sigma for exp3 (default 1.0)")
+    arn.add_argument("--duration", type=float,
+                     default=arena_mod.DEFAULT_DURATION_MS,
+                     help="simulated ms per cell "
+                          f"(default {arena_mod.DEFAULT_DURATION_MS:g})")
+    arn.add_argument("--warmup", type=float,
+                     default=arena_mod.DEFAULT_WARMUP_MS,
+                     help="warm-up ms discarded "
+                          f"(default {arena_mod.DEFAULT_WARMUP_MS:g})")
+    arn.add_argument("--seed", type=int, default=0)
+    arn.add_argument("--pool", type=int, default=None,
+                     help="worker processes (default: CPU count)")
+    arn.add_argument("--cache-dir", default="results/cache",
+                     help="result cache root ('' disables caching)")
+    arn.add_argument("--out", default="results/arena",
+                     help="report directory (default results/arena)")
+    arn.add_argument("--no-phases", action="store_true",
+                     help="skip the per-phase cost pass (one uncached "
+                          "bench run per cell)")
+    arn.add_argument("--phase-repeats", type=int, default=1,
+                     help="bench repeats per cell in the phase pass "
+                          "(default 1)")
+
+    sub.add_parser(
+        "schedulers",
+        help="list registered schedulers with families and descriptions",
+    )
     sub.add_parser("experiments", help="list the paper's tables/figures")
     return parser
 
@@ -711,9 +758,92 @@ def _command_tail(args: argparse.Namespace) -> int:
         time.sleep(args.interval)
 
 
+def _command_arena(args: argparse.Namespace) -> int:
+    _check_horizon(args)
+    schedulers = (
+        [s for s in args.schedulers.split(",") if s]
+        if args.schedulers
+        else list(arena_mod.default_arena_schedulers())
+    )
+    rates = [float(r) for r in args.rates.split(",") if r]
+    dds = [int(d) for d in args.dds.split(",") if d]
+    if not schedulers or not rates or not dds:
+        raise SystemExit(
+            "arena needs at least one scheduler, one rate and one DD"
+        )
+    for name in schedulers:
+        try:
+            arena_mod.scheduler_family(name)
+        except KeyError:
+            raise SystemExit(
+                f"unknown scheduler {name!r}; available: {available()}"
+            )
+    if args.pool is not None and args.pool < 1:
+        raise SystemExit(f"--pool must be >= 1, got {args.pool}")
+    if args.phase_repeats < 1:
+        raise SystemExit(
+            f"--phase-repeats must be >= 1, got {args.phase_repeats}"
+        )
+    specs = arena_mod.arena_specs(
+        schedulers,
+        rates,
+        dds,
+        workload=args.workload,
+        num_files=args.num_files,
+        sigma=args.sigma,
+        seed=args.seed,
+        duration_ms=args.duration,
+        warmup_ms=args.warmup,
+    )
+    runner = ParallelRunner(
+        pool_size=args.pool,
+        cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+    )
+    results = runner.run_batch(specs, label="arena")
+    bench_rows = None
+    if not args.no_phases:
+        bench_rows = runner.run_bench(
+            specs, label="arena-phases", repeats=args.phase_repeats
+        )
+    payload = arena_mod.arena_payload(
+        specs,
+        results,
+        bench_rows,
+        git_sha=_git_sha(),
+        created=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    )
+    try:
+        count = arena_mod.validate_arena(payload)
+    except ValueError as exc:
+        print(f"[arena] ERROR: invalid artifact: {exc}", file=sys.stderr)
+        return 1
+    json_path, md_path = arena_mod.write_arena(payload, args.out)
+    print(arena_mod.render_arena_markdown(payload))
+    print(f"[arena] {count} cell(s) -> {json_path} + {md_path} "
+          "(schema valid)")
+    if payload["failed_cells"]:
+        print(f"[arena] ERROR: {payload['failed_cells']} cell(s) failed",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _command_schedulers() -> int:
-    for name in available():
-        print(name)
+    rows = [
+        [
+            entry.name,
+            entry.family,
+            "yes" if entry.grid else "no",
+            entry.description,
+        ]
+        for entry in entries()
+    ]
+    print(render_table(
+        ["name", "family", "in grids", "description"],
+        typing.cast(typing.List[typing.List[object]], rows),
+        title="registered schedulers (parameterised forms: LOW(K=n), "
+              "DGCC(B=n), CAR(Q=n), PRED(T=x))",
+    ))
     return 0
 
 
@@ -746,6 +876,8 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
             return _command_runs(args)
         if args.command == "tail":
             return _command_tail(args)
+        if args.command == "arena":
+            return _command_arena(args)
         if args.command == "schedulers":
             return _command_schedulers()
         return _command_experiments()

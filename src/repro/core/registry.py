@@ -1,8 +1,21 @@
-"""Scheduler registry: name -> factory.
+"""Scheduler registry: name -> (factory, family, description).
 
-The six schedulers of the paper (plus the C2PL+M alias and parameterised
-LOW variants) are constructed through this registry so experiments and
-benchmarks can sweep them by name.
+The six schedulers of the paper (plus the C2PL+M alias, the extension
+variants, and the modern families from :mod:`repro.schedulers.modern`)
+are constructed through this registry so experiments, benchmarks and the
+arena can sweep them by name.
+
+Families group the roster for reporting:
+
+``paper``
+    The 1991 line-up the paper compares (Section 4).
+``extension``
+    Variants this repository adds for ablations (plain 2PL,
+    resource-aware LOW).
+``modern``
+    Post-1991 scheduler families (DGCC, conflict-aware reordering,
+    conflict-prediction admission), registered by
+    :mod:`repro.schedulers.modern` on import.
 """
 
 from __future__ import annotations
@@ -29,17 +42,157 @@ SchedulerFactory = typing.Callable[
 #: names in the paper's reporting order
 PAPER_SCHEDULERS = ("NODC", "ASL", "GOW", "LOW", "C2PL", "OPT")
 
-_FACTORIES: typing.Dict[str, SchedulerFactory] = {}
+#: the modern families, in arena reporting order
+MODERN_SCHEDULERS = ("DGCC", "CAR", "PRED")
+
+#: family tags accepted by :func:`register`
+FAMILIES = ("paper", "extension", "modern")
 
 
-def register(name: str, factory: SchedulerFactory) -> None:
-    """Add (or replace) a named scheduler factory."""
-    _FACTORIES[name.upper()] = factory
+class SchedulerEntry(typing.NamedTuple):
+    """One registered scheduler: how to build it and how to present it.
+
+    ``grid`` marks entries that experiment sweeps should include by
+    default; aliases that need special harness treatment (C2PL+M's MPL
+    sweep) register with ``grid=False``.
+    """
+
+    name: str
+    factory: SchedulerFactory
+    family: str
+    description: str
+    grid: bool = True
+
+
+_REGISTRY: typing.Dict[str, SchedulerEntry] = {}
+
+
+def register(
+    name: str,
+    factory: SchedulerFactory,
+    *,
+    family: str = "paper",
+    description: str = "",
+    grid: bool = True,
+    replace: bool = False,
+) -> None:
+    """Add a named scheduler factory.
+
+    Duplicate names raise ``ValueError`` (pass ``replace=True`` to
+    overwrite deliberately, e.g. when a test swaps in a stub).
+    """
+    key = name.upper()
+    if family not in FAMILIES:
+        raise ValueError(
+            f"unknown family {family!r} for scheduler {name!r}; "
+            f"expected one of {FAMILIES}"
+        )
+    if key in _REGISTRY and not replace:
+        raise ValueError(
+            f"scheduler {name!r} is already registered "
+            f"(as {_REGISTRY[key].name!r}); pass replace=True to overwrite"
+        )
+    _REGISTRY[key] = SchedulerEntry(
+        name.upper(), factory, family, description, grid
+    )
+
+
+def unregister(name: str) -> None:
+    """Remove a registration (primarily for tests)."""
+    _REGISTRY.pop(name.upper(), None)
 
 
 def available() -> typing.List[str]:
     """All registered scheduler names."""
-    return sorted(_FACTORIES)
+    return sorted(_REGISTRY)
+
+
+def entries() -> typing.List[SchedulerEntry]:
+    """All registrations, grouped paper -> extension -> modern and
+    alphabetical within each family."""
+    rank = {family: index for index, family in enumerate(FAMILIES)}
+    return sorted(
+        _REGISTRY.values(), key=lambda e: (rank[e.family], e.name)
+    )
+
+
+def family_of(name: str) -> str:
+    """The family tag of a registered scheduler."""
+    return _entry(name).family
+
+
+def grid_schedulers(
+    families: typing.Sequence[str] = ("paper", "modern"),
+) -> typing.Tuple[str, ...]:
+    """The experiment-sweep line-up, resolved from the registry.
+
+    Grid-eligible registrations from the requested families, ordered
+    paper reporting order first, then the arena order, then
+    alphabetically for any later registrations.
+    """
+    preferred = {
+        name: index
+        for index, name in enumerate(PAPER_SCHEDULERS + MODERN_SCHEDULERS)
+    }
+    rank = {family: index for index, family in enumerate(FAMILIES)}
+    chosen = [e for e in entries() if e.grid and e.family in families]
+    chosen.sort(
+        key=lambda e: (
+            rank[e.family],
+            preferred.get(e.name, len(preferred)),
+            e.name,
+        )
+    )
+    return tuple(e.name for e in chosen)
+
+
+def _entry(name: str) -> SchedulerEntry:
+    key = name.upper().replace(" ", "")
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {available()}"
+        )
+    return _REGISTRY[key]
+
+
+def _parameterised(
+    key: str,
+    env: Environment,
+    config: MachineConfig,
+    control_node: ControlNode,
+) -> typing.Optional[Scheduler]:
+    """Build ``NAME(P=value)`` forms; None when ``key`` is not one."""
+    if key.startswith("LOW(K=") and key.endswith(")"):
+        k = int(key[len("LOW(K=") : -1])
+        scheduler: Scheduler = LOWScheduler(env, config, control_node, k=k)
+        scheduler.name = f"LOW(K={k})"
+        return scheduler
+    if key.startswith("DGCC(B=") and key.endswith(")"):
+        from repro.schedulers.modern.dgcc import DGCCScheduler
+
+        batch = int(key[len("DGCC(B=") : -1])
+        scheduler = DGCCScheduler(env, config, control_node, batch_size=batch)
+        scheduler.name = f"DGCC(B={batch})"
+        return scheduler
+    if key.startswith("CAR(Q=") and key.endswith(")"):
+        from repro.schedulers.modern.reorder import ConflictReorderScheduler
+
+        queues = int(key[len("CAR(Q=") : -1])
+        scheduler = ConflictReorderScheduler(
+            env, config, control_node, num_queues=queues
+        )
+        scheduler.name = f"CAR(Q={queues})"
+        return scheduler
+    if key.startswith("PRED(T=") and key.endswith(")"):
+        from repro.schedulers.modern.predict import ConflictPredictScheduler
+
+        threshold = float(key[len("PRED(T=") : -1])
+        scheduler = ConflictPredictScheduler(
+            env, config, control_node, threshold=threshold
+        )
+        scheduler.name = f"PRED(T={threshold:g})"
+        return scheduler
+    return None
 
 
 def create(
@@ -50,32 +203,62 @@ def create(
 ) -> Scheduler:
     """Instantiate the scheduler registered under ``name``.
 
-    ``LOW(K=n)`` is accepted for arbitrary K, e.g. ``LOW(K=1)``.
+    Parameterised forms are accepted for the tunable policies:
+    ``LOW(K=n)``, ``DGCC(B=n)``, ``CAR(Q=n)`` and ``PRED(T=x)``,
+    e.g. ``LOW(K=1)`` or ``DGCC(B=16)``.
     """
     key = name.upper().replace(" ", "")
-    if key.startswith("LOW(K=") and key.endswith(")"):
-        k = int(key[len("LOW(K=") : -1])
-        scheduler = LOWScheduler(env, config, control_node, k=k)
-        scheduler.name = f"LOW(K={k})"
+    scheduler = _parameterised(key, env, config, control_node)
+    if scheduler is not None:
         return scheduler
-    if key not in _FACTORIES:
-        raise KeyError(
-            f"unknown scheduler {name!r}; available: {available()}"
-        )
-    return _FACTORIES[key](env, config, control_node)
+    return _entry(key).factory(env, config, control_node)
 
 
-register("NODC", NODCScheduler)
-register("ASL", ASLScheduler)
-register("GOW", GOWScheduler)
-register("LOW", lambda env, cfg, cn: LOWScheduler(env, cfg, cn, k=2))
-register("C2PL", C2PLScheduler)
-# C2PL+M is C2PL run under a finite MPL; the harness picks the MPL.
-register("C2PL+M", C2PLScheduler)
-register("OPT", OPTScheduler)
+register(
+    "NODC", NODCScheduler,
+    description="No concurrency control: full-batch serial execution",
+)
+register(
+    "ASL", ASLScheduler,
+    description="All locks at start; start only when every lock is free",
+)
+register(
+    "GOW", GOWScheduler,
+    description="Greedy on WTPG: admit only chain-form conflict patterns",
+)
+register(
+    "LOW", lambda env, cfg, cn: LOWScheduler(env, cfg, cn, k=2),
+    description="Least-overlapping-first on WTPG with K-conflict "
+    "admission (K=2)",
+)
+register(
+    "C2PL", C2PLScheduler,
+    description="Cautious 2PL: delay any grant that predicts a deadlock",
+)
+# C2PL+M is C2PL run under a finite MPL; the harness picks the MPL, so
+# plain sweeps must not pick it up (grid=False).
+register(
+    "C2PL+M", C2PLScheduler,
+    description="C2PL under the best finite multiprogramming level",
+    grid=False,
+)
+register(
+    "OPT", OPTScheduler,
+    description="Optimistic execution with backward validation at commit",
+)
 # Plain strict 2PL (deadlock detection + youngest-victim restart): the
 # baseline the paper dismisses up front; included for ablations.
-register("2PL", TwoPLScheduler)
+register(
+    "2PL", TwoPLScheduler,
+    family="extension",
+    description="Strict 2PL with deadlock detection and youngest-victim "
+    "restart",
+)
 # Resource-aware LOW (the paper's "further work"): E() weights include
 # current DPN scan backlog.
-register("LOW-LB", lambda env, cfg, cn: LOWLBScheduler(env, cfg, cn, k=2))
+register(
+    "LOW-LB", lambda env, cfg, cn: LOWLBScheduler(env, cfg, cn, k=2),
+    family="extension",
+    description="Resource-aware LOW: E(q) weights include DPN scan "
+    "backlog (K=2)",
+)

@@ -15,11 +15,29 @@ import dataclasses
 import os
 import typing
 
-#: the paper's scheduler line-up and reporting order
-SCHEDULERS = ("NODC", "ASL", "GOW", "LOW", "C2PL", "OPT")
+from repro.core.registry import PAPER_SCHEDULERS, grid_schedulers
+
+#: the paper's scheduler line-up and reporting order (registry-sourced)
+SCHEDULERS = PAPER_SCHEDULERS
 
 #: MPL candidates swept for C2PL+M ("the best C2PL")
 C2PLM_MPL_CANDIDATES = (2, 4, 6, 8, 12, 16)
+
+
+def resolve_schedulers(
+    schedulers: typing.Optional[typing.Sequence[str]] = None,
+    families: typing.Sequence[str] = ("paper", "modern"),
+) -> typing.Tuple[str, ...]:
+    """The scheduler grid for one experiment sweep.
+
+    ``None`` (every experiment's default) resolves **at call time** from
+    the registry, so newly registered schedulers join every sweep
+    without touching the experiment modules; an explicit sequence is
+    passed through untouched.
+    """
+    if schedulers is not None:
+        return tuple(schedulers)
+    return grid_schedulers(families)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -20,10 +20,10 @@ import typing
 
 from repro.experiments.common import (
     C2PLM_MPL_CANDIDATES,
-    SCHEDULERS,
     ExperimentOutput,
     QUICK,
     RunScale,
+    resolve_schedulers,
 )
 from repro.machine.config import MachineConfig
 from repro.runner.spec import RunSpec, WorkloadSpec
@@ -51,12 +51,13 @@ def _workload(rate: float, num_files: int) -> WorkloadSpec:
 def figure8(
     scale: RunScale = QUICK,
     seed: int = 0,
-    schedulers: typing.Sequence[str] = SCHEDULERS,
+    schedulers: typing.Optional[typing.Sequence[str]] = None,
     rates: typing.Sequence[float] = RATE_GRID,
     num_files: int = 16,
     runner: typing.Optional["ParallelRunner"] = None,
 ) -> ExperimentOutput:
     """Fig. 8: mean response time (s) vs arrival rate at DD = 1."""
+    schedulers = resolve_schedulers(schedulers)
     config = MachineConfig(dd=1, num_files=num_files)
     specs = [
         RunSpec(
@@ -90,11 +91,12 @@ def figure8(
 def table2(
     scale: RunScale = QUICK,
     seed: int = 0,
-    schedulers: typing.Sequence[str] = SCHEDULERS,
+    schedulers: typing.Optional[typing.Sequence[str]] = None,
     file_counts: typing.Sequence[int] = (8, 16, 32, 64),
     runner: typing.Optional["ParallelRunner"] = None,
 ) -> ExperimentOutput:
     """Table 2: throughput (TPS) at RT = 70 s vs NumFiles at DD = 1."""
+    schedulers = resolve_schedulers(schedulers)
     requests = [
         ThroughputRequest(
             scheduler=scheduler,
@@ -129,12 +131,13 @@ def table2(
 def figure9(
     scale: RunScale = QUICK,
     seed: int = 0,
-    schedulers: typing.Sequence[str] = SCHEDULERS,
+    schedulers: typing.Optional[typing.Sequence[str]] = None,
     dds: typing.Sequence[int] = DD_GRID,
     num_files: int = 16,
     runner: typing.Optional["ParallelRunner"] = None,
 ) -> ExperimentOutput:
     """Fig. 9: throughput (TPS) at RT = 70 s vs degree of declustering."""
+    schedulers = resolve_schedulers(schedulers)
     requests = [
         ThroughputRequest(
             scheduler=scheduler,
@@ -271,13 +274,14 @@ def figure10(
 def figure11(
     scale: RunScale = QUICK,
     seed: int = 0,
-    schedulers: typing.Sequence[str] = SCHEDULERS,
+    schedulers: typing.Optional[typing.Sequence[str]] = None,
     rates: typing.Sequence[float] = (0.4, 0.6, 0.8, 1.0, 1.2, 1.4),
     dd: int = 4,
     num_files: int = 16,
     runner: typing.Optional["ParallelRunner"] = None,
 ) -> ExperimentOutput:
     """Fig. 11: response-time speedup (DD=1 -> DD=4) vs arrival rate."""
+    schedulers = resolve_schedulers(schedulers)
     specs = [
         RunSpec(
             scheduler=scheduler,

@@ -14,10 +14,10 @@ from __future__ import annotations
 import typing
 
 from repro.experiments.common import (
-    SCHEDULERS,
     ExperimentOutput,
     QUICK,
     RunScale,
+    resolve_schedulers,
 )
 from repro.machine.config import MachineConfig
 from repro.runner.spec import RunSpec, WorkloadSpec
@@ -38,7 +38,7 @@ def _workload(rate: float) -> WorkloadSpec:
 def table4(
     scale: RunScale = QUICK,
     seed: int = 0,
-    schedulers: typing.Sequence[str] = SCHEDULERS,
+    schedulers: typing.Optional[typing.Sequence[str]] = None,
     dds: typing.Sequence[int] = (1, 2, 4),
     rate: float = 1.2,
     runner: typing.Optional["ParallelRunner"] = None,
@@ -47,6 +47,7 @@ def table4(
 
     One row per (metric, DD) pair, matching the paper's layout.
     """
+    schedulers = resolve_schedulers(schedulers)
     requests = [
         ThroughputRequest(
             scheduler=scheduler,
@@ -108,12 +109,13 @@ def table4(
 def figure12(
     scale: RunScale = QUICK,
     seed: int = 0,
-    schedulers: typing.Sequence[str] = SCHEDULERS,
+    schedulers: typing.Optional[typing.Sequence[str]] = None,
     dds: typing.Sequence[int] = (1, 2, 4, 8),
     rate: float = 1.2,
     runner: typing.Optional["ParallelRunner"] = None,
 ) -> ExperimentOutput:
     """Fig. 12: response-time speedup vs DD at 1.2 TPS on the hot set."""
+    schedulers = resolve_schedulers(schedulers)
     specs = [
         RunSpec(
             scheduler=scheduler,

@@ -17,7 +17,12 @@ from __future__ import annotations
 import math
 import typing
 
-from repro.experiments.common import ExperimentOutput, QUICK, RunScale
+from repro.experiments.common import (
+    ExperimentOutput,
+    QUICK,
+    RunScale,
+    resolve_schedulers,
+)
 from repro.machine.config import MachineConfig
 from repro.runner.spec import WorkloadSpec
 from repro.sim.experiment import ThroughputRequest, find_throughput_batch
@@ -36,7 +41,7 @@ def _workload(sigma: float, num_files: int) -> WorkloadSpec:
 def figure13(
     scale: RunScale = QUICK,
     seed: int = 0,
-    schedulers: typing.Sequence[str] = ("GOW", "LOW"),
+    schedulers: typing.Optional[typing.Sequence[str]] = None,
     sigmas: typing.Sequence[float] = SIGMA_GRID,
     dds: typing.Sequence[int] = (1, 2, 4),
     num_files: int = 16,
@@ -48,7 +53,17 @@ def figure13(
     One column per (scheduler, DD) pair; optionally a C2PL floor column
     per DD (C2PL ignores declarations entirely, so its throughput is
     sigma-independent -- the paper plots it as the lower bound).
+
+    The default grid is the declaration-driven line-up: the paper's GOW
+    and LOW plus every registered modern scheduler (all three exploit
+    the same declarations the error model perturbs).
     """
+    if schedulers is None:
+        schedulers = ("GOW", "LOW") + resolve_schedulers(
+            None, families=("modern",)
+        )
+    else:
+        schedulers = tuple(schedulers)
     headers = ["sigma"]
     for dd in dds:
         for scheduler in schedulers:

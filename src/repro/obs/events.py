@@ -21,7 +21,10 @@ Kinds are namespaced by subsystem:
     (the serializable order W GOW committed to), ``kconflict`` (LOW's
     K-conflict admission verdict), ``e_eval`` (LOW's E(q) verdict),
     ``cycle_test`` (C2PL deadlock prediction), ``victim`` (plain 2PL
-    deadlock victim), ``opt_validation`` (OPT certification outcome).
+    deadlock victim), ``opt_validation`` (OPT certification outcome),
+    ``dgcc_admit`` (DGCC batch membership), ``queue_assign`` /
+    ``repartition`` (CAR queue placement and re-partition sweeps),
+    ``conflict_pred`` (PRED admission score and verdict).
 ``node.*``
     Data-processing nodes: ``busy`` / ``idle`` transitions and
     ``queue`` depth changes.
@@ -82,6 +85,10 @@ EVENT_KINDS: typing.Dict[str, typing.Tuple[str, ...]] = {
     "sched.cycle_test": ("txn", "file", "deadlock"),
     "sched.victim": ("txn",),
     "sched.opt_validation": ("txn", "ok"),
+    "sched.dgcc_admit": ("txn", "epoch", "batch"),
+    "sched.queue_assign": ("txn", "queue"),
+    "sched.repartition": ("live", "moved"),
+    "sched.conflict_pred": ("txn", "score", "admitted"),
     # -- machine resources ------------------------------------------------
     "node.busy": ("node",),
     "node.idle": ("node",),

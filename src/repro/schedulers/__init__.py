@@ -1,0 +1,22 @@
+"""Scheduler families beyond the paper's six.
+
+The paper's schedulers live in :mod:`repro.core` (they *are* the paper's
+contribution); this package collects the policies added on top:
+
+- :mod:`repro.schedulers.modern` -- three post-1991 scheduler families
+  (dependency-graph batch execution, conflict-aware reordering and
+  conflict-prediction admission) registered alongside the paper's
+  line-up in :mod:`repro.core.registry`.
+"""
+
+from repro.schedulers.modern import (
+    ConflictPredictScheduler,
+    ConflictReorderScheduler,
+    DGCCScheduler,
+)
+
+__all__ = [
+    "ConflictPredictScheduler",
+    "ConflictReorderScheduler",
+    "DGCCScheduler",
+]

@@ -1,0 +1,66 @@
+"""Modern scheduler families, registered alongside the paper's line-up.
+
+Importing this package registers three post-1991 policies in
+:mod:`repro.core.registry` under the ``modern`` family:
+
+``DGCC``
+    Dependency-graph batch execution (arXiv:1503.03642): seal admitted
+    batches, compile declared access sets into dependency graphs, run
+    the conflict-free components in parallel.
+``CAR``
+    Conflict-aware reordering (arXiv:1810.01997): greedy conflict-graph
+    partitioning of the ready set into serial execution queues, with
+    contention-triggered re-partition.
+``PRED``
+    Conflict-prediction admission (arXiv:2409.01675): learn per-file
+    conflict rates online and defer admissions whose declared sets look
+    hot.
+
+Parameterised forms (``DGCC(B=n)``, ``CAR(Q=n)``, ``PRED(T=x)``) are
+resolved by :func:`repro.core.registry.create` directly.
+"""
+
+from __future__ import annotations
+
+from repro.core import registry
+from repro.schedulers.modern.base import DeclaredOrderScheduler
+from repro.schedulers.modern.dgcc import DGCCScheduler
+from repro.schedulers.modern.predict import ConflictPredictScheduler
+from repro.schedulers.modern.reorder import ConflictReorderScheduler
+
+__all__ = [
+    "ConflictPredictScheduler",
+    "ConflictReorderScheduler",
+    "DGCCScheduler",
+    "DeclaredOrderScheduler",
+]
+
+
+def _register() -> None:
+    """Idempotent registration (safe under repeated package imports)."""
+    if "DGCC" in registry.available():
+        return
+    registry.register(
+        "DGCC",
+        DGCCScheduler,
+        family="modern",
+        description="Dependency-graph batch execution over declared "
+        "access sets (B=8)",
+    )
+    registry.register(
+        "CAR",
+        ConflictReorderScheduler,
+        family="modern",
+        description="Conflict-aware reordering into serial execution "
+        "queues (Q=4)",
+    )
+    registry.register(
+        "PRED",
+        ConflictPredictScheduler,
+        family="modern",
+        description="Online conflict-prediction admission control "
+        "(T=0.5)",
+    )
+
+
+_register()

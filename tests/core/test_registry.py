@@ -10,9 +10,20 @@ from repro.core import (
     create,
     register,
 )
-from repro.core.registry import _FACTORIES
+from repro.core.registry import (
+    FAMILIES,
+    MODERN_SCHEDULERS,
+    entries,
+    family_of,
+    unregister,
+)
 from repro.des import Environment
 from repro.machine import ControlNode, MachineConfig
+from repro.schedulers.modern import (
+    ConflictPredictScheduler,
+    ConflictReorderScheduler,
+    DGCCScheduler,
+)
 
 
 @pytest.fixture
@@ -25,6 +36,10 @@ def ctx():
 class TestRegistry:
     def test_paper_schedulers_all_registered(self):
         for name in PAPER_SCHEDULERS:
+            assert name in available()
+
+    def test_modern_schedulers_all_registered(self):
+        for name in MODERN_SCHEDULERS:
             assert name in available()
 
     def test_create_by_name(self, ctx):
@@ -62,8 +77,80 @@ class TestRegistry:
         try:
             assert isinstance(create("CUSTOM", *ctx), Custom)
         finally:
-            _FACTORIES.pop("CUSTOM", None)
+            unregister("CUSTOM")
 
     def test_available_sorted(self):
         names = available()
         assert names == sorted(names)
+
+
+class TestDuplicateRegistration:
+    def test_duplicate_name_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register("C2PL", C2PLScheduler)
+
+    def test_duplicate_allowed_with_replace(self, ctx):
+        class Stub(C2PLScheduler):
+            name = "STUB"
+
+        register("STUB", C2PLScheduler)
+        try:
+            register("STUB", Stub, replace=True)
+            assert isinstance(create("STUB", *ctx), Stub)
+        finally:
+            unregister("STUB")
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            register("WEIRD", C2PLScheduler, family="vintage")
+
+
+class TestFamilies:
+    def test_every_entry_has_known_family_and_description(self):
+        for entry in entries():
+            assert entry.family in FAMILIES
+            assert entry.description
+
+    def test_entries_grouped_paper_first(self):
+        families = [entry.family for entry in entries()]
+        rank = {family: i for i, family in enumerate(FAMILIES)}
+        assert families == sorted(families, key=rank.__getitem__)
+
+    def test_family_of(self):
+        assert family_of("GOW") == "paper"
+        assert family_of("2PL") == "extension"
+        for name in MODERN_SCHEDULERS:
+            assert family_of(name) == "modern"
+
+
+class TestModernCreation:
+    def test_create_modern_by_name(self, ctx):
+        assert isinstance(create("DGCC", *ctx), DGCCScheduler)
+        assert isinstance(create("CAR", *ctx), ConflictReorderScheduler)
+        assert isinstance(create("PRED", *ctx), ConflictPredictScheduler)
+
+    def test_parameterised_dgcc(self, ctx):
+        scheduler = create("DGCC(B=16)", *ctx)
+        assert isinstance(scheduler, DGCCScheduler)
+        assert scheduler.batch_size == 16
+        assert scheduler.name == "DGCC(B=16)"
+
+    def test_parameterised_car(self, ctx):
+        scheduler = create("CAR(Q=2)", *ctx)
+        assert isinstance(scheduler, ConflictReorderScheduler)
+        assert scheduler.num_queues == 2
+        assert scheduler.name == "CAR(Q=2)"
+
+    def test_parameterised_pred(self, ctx):
+        scheduler = create("PRED(T=0.75)", *ctx)
+        assert isinstance(scheduler, ConflictPredictScheduler)
+        assert scheduler.threshold == 0.75
+        assert scheduler.name == "PRED(T=0.75)"
+
+    def test_bad_parameters_raise(self, ctx):
+        with pytest.raises(ValueError):
+            create("DGCC(B=0)", *ctx)
+        with pytest.raises(ValueError):
+            create("CAR(Q=0)", *ctx)
+        with pytest.raises(ValueError):
+            create("PRED(T=1.5)", *ctx)

@@ -140,9 +140,21 @@ class TestFigure12:
 class TestFigure13AndTable5:
     def test_figure13_headers(self):
         out = exp3.figure13(
-            SMOKE, sigmas=(0.0,), dds=(1,), include_c2pl_floor=True
+            SMOKE,
+            schedulers=("GOW", "LOW"),
+            sigmas=(0.0,),
+            dds=(1,),
+            include_c2pl_floor=True,
         )
         assert out.headers == ["sigma", "GOW@DD=1", "LOW@DD=1", "C2PL@DD=1"]
+
+    def test_figure13_default_grid_includes_modern(self):
+        out = exp3.figure13(
+            SMOKE, sigmas=(0.0,), dds=(1,), include_c2pl_floor=False
+        )
+        assert out.headers[:3] == ["sigma", "GOW@DD=1", "LOW@DD=1"]
+        for name in ("DGCC", "CAR", "PRED"):
+            assert f"{name}@DD=1" in out.headers
 
     def test_table5_from_figure13(self):
         fig = ExperimentOutput(

@@ -112,6 +112,8 @@ def _one_event_of_every_kind():
         "ok": True, "consistent": True, "e_q": 0.5, "granted": True,
         "deadlock": False, "node": 0, "depth": 2, "category": "startup",
         "cost_ms": 1.5, "name": "cn.cpu", "schema": TRACE_SCHEMA_VERSION,
+        "epoch": 0, "batch": 3, "queue": 1, "live": 4, "moved": 2,
+        "score": 0.25, "admitted": True,
     }
     rec = MemoryRecorder()
     for t, kind in enumerate(sorted(EVENT_KINDS)):

@@ -1,0 +1,86 @@
+"""Hypothesis property tests for the modern schedulers.
+
+The load-bearing DGCC claim: transactions in *different* dependency
+components share no declared file, so the components really can execute
+with no interaction.  Driven through the public admission API with
+randomized access sets.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.des import Environment
+from repro.machine import ControlNode, MachineConfig
+from repro.schedulers import DGCCScheduler
+from repro.txn import AccessMode, BatchTransaction, Step
+
+
+def txn_strategy(txn_id, num_files=6):
+    """A random batch transaction over a small file pool."""
+    step = st.tuples(
+        st.integers(min_value=0, max_value=num_files - 1),
+        st.sampled_from([AccessMode.SHARED, AccessMode.EXCLUSIVE]),
+        st.floats(min_value=0.0, max_value=5.0),
+    )
+    return st.lists(step, min_size=1, max_size=4).map(
+        lambda steps: BatchTransaction(
+            txn_id,
+            [Step(f, m, c) for f, m, c in steps],
+            arrival_time=0.0,
+        )
+    )
+
+
+def admit_all(txns):
+    """Admit every transaction into one DGCC batch and freeze it live."""
+    env = Environment()
+    config = MachineConfig(retry_delay_ms=50.0)
+    scheduler = DGCCScheduler(
+        env, config, ControlNode(env, config), batch_size=64
+    )
+    for txn in txns:
+
+        def proc(txn=txn):
+            yield from scheduler.admit(txn)
+
+        env.process(proc(), name=f"admit-{txn.txn_id}")
+    env.run()
+    return scheduler
+
+
+class TestDependencyComponents:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data(), n=st.integers(min_value=1, max_value=6))
+    def test_components_never_share_a_declared_file(self, data, n):
+        txns = [data.draw(txn_strategy(i), label=f"txn{i}") for i in range(n)]
+        scheduler = admit_all(txns)
+        components = scheduler.dependency_components()
+        # the components partition the live batch exactly
+        members = [t for component in components for t in component]
+        assert sorted(members) == sorted(t.txn_id for t in txns)
+        # no declared file appears in two components
+        owner = {}
+        for index, component in enumerate(components):
+            for txn in txns:
+                if txn.txn_id not in component:
+                    continue
+                for file_id in txn.files:
+                    assert owner.setdefault(file_id, index) == index, (
+                        f"file {file_id} spans components"
+                    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data(), n=st.integers(min_value=2, max_value=6))
+    def test_sharing_transactions_land_in_one_component(self, data, n):
+        txns = [data.draw(txn_strategy(i), label=f"txn{i}") for i in range(n)]
+        scheduler = admit_all(txns)
+        component_of = {
+            t: index
+            for index, component in enumerate(
+                scheduler.dependency_components()
+            )
+            for t in component
+        }
+        for a in txns:
+            for b in txns:
+                if a.txn_id < b.txn_id and set(a.files) & set(b.files):
+                    assert component_of[a.txn_id] == component_of[b.txn_id]

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.analysis.arena import load_arena
 from repro.bench import load_bench_json, validate_bench, write_bench_json
 from repro.cli import build_parser, main
 
@@ -361,3 +362,57 @@ class TestTelemetryCommands:
             "runs", "list", "--runs-dir", str(tmp_path / "runs"),
         ]) == 0
         assert "bench" in capsys.readouterr().out
+
+
+class TestSchedulersCommand:
+    def test_lists_modern_lineup_with_families(self, capsys):
+        assert main(["schedulers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("DGCC", "CAR", "PRED"):
+            assert name in out
+        assert "modern" in out and "paper" in out and "extension" in out
+        # parameterised spellings are advertised
+        assert "DGCC(B=" in out
+
+
+class TestArenaCommand:
+    def run_arena(self, tmp_path, *extra):
+        return main([
+            "arena",
+            "--schedulers", "NODC,DGCC",
+            "--rates", "0.8",
+            "--dds", "1",
+            "--duration", "20000",
+            "--warmup", "0",
+            "--pool", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(tmp_path / "arena"),
+            *extra,
+        ])
+
+    def test_writes_valid_report_pair(self, tmp_path, capsys):
+        assert self.run_arena(tmp_path, "--no-phases") == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s)" in out and "schema valid" in out
+        payload = load_arena(tmp_path / "arena" / "ARENA.json")
+        assert [c["scheduler"] for c in payload["cells"]] == ["NODC", "DGCC"]
+        assert "phase_cost_s" not in payload["cells"][0]
+        md = (tmp_path / "arena" / "ARENA.md").read_text(encoding="utf-8")
+        assert "**(best)**" in md
+
+    def test_phase_pass_adds_cost_split(self, tmp_path, capsys):
+        assert self.run_arena(tmp_path) == 0
+        payload = load_arena(tmp_path / "arena" / "ARENA.json")
+        for cell in payload["cells"]:
+            assert cell["phase_cost_s"]
+        assert "hot phase" in (tmp_path / "arena" / "ARENA.md").read_text(
+            encoding="utf-8"
+        )
+
+    def test_unknown_scheduler_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            self.run_arena(tmp_path, "--schedulers", "NOPE")
+
+    def test_empty_axes_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            self.run_arena(tmp_path, "--rates", "")
