@@ -112,11 +112,15 @@ def bench_payload(
     rows: typing.Sequence[typing.Mapping[str, typing.Any]],
     git_sha: typing.Optional[str] = None,
     batch: typing.Optional[str] = None,
+    backend: typing.Optional[str] = None,
 ) -> typing.Dict[str, typing.Any]:
     """Assemble the stable-schema BENCH artifact from bench rows.
 
     ``batch`` links the artifact back to the runner's registry entry
-    (set when the bench ran with live telemetry on).
+    (set when the bench ran with live telemetry on); ``backend``
+    records which executor backend measured the rows -- timings from
+    different backends are not comparable (subprocess spawn overhead,
+    cross-host hardware), so comparisons should check it matches.
     """
     payload = {
         "bench_schema_version": BENCH_SCHEMA_VERSION,
@@ -127,6 +131,8 @@ def bench_payload(
     }
     if batch is not None:
         payload["batch"] = batch
+    if backend is not None:
+        payload["backend"] = backend
     return payload
 
 

@@ -18,6 +18,14 @@ Commands:
   record, validating each against the telemetry schema.
 - ``arena``       -- the pinned scheduler x rate x DD head-to-head
   matrix through the cached runner -> ``results/arena/ARENA.{json,md}``.
+- ``backends``    -- list the registered executor backends with their
+  capability flags (``sweep``/``bench``/``arena`` select one with
+  ``--backend``).
+- ``cache``       -- result-cache stats, with optional age/count
+  pruning (``--max-age-days`` / ``--max-entries`` / ``--dry-run``).
+- ``worker-pool`` -- serve a shared-dir spool: claim queued runs,
+  execute them, write results back (the multi-host worker side of
+  ``sweep --backend shared-dir``).
 - ``schedulers``  -- list the registered schedulers with family tags
   (paper / extension / modern) and descriptions.
 - ``experiments`` -- list the paper's tables/figures and how to run them.
@@ -61,6 +69,9 @@ from repro.runner import (
     RunRegistry,
     RunSpec,
     WorkloadSpec,
+    backend_names,
+    get_backend_info,
+    worker_pool_loop,
 )
 from repro.runner.runner import _git_sha
 from repro.sim.simulation import run_simulation
@@ -164,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="seconds without a worker heartbeat before the "
                           "cell counts as stalled and is killed/retried "
                           "(telemetry only; default: no stall detection)")
+    _add_backend_args(swp)
 
     rpt = sub.add_parser(
         "report",
@@ -207,6 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
     ben.add_argument("--runs-dir", default="results/runs",
                      help="registry/telemetry directory used with "
                           "--telemetry (default results/runs)")
+    _add_backend_args(ben)
 
     wch = sub.add_parser(
         "watch",
@@ -287,6 +300,45 @@ def build_parser() -> argparse.ArgumentParser:
     arn.add_argument("--phase-repeats", type=int, default=1,
                      help="bench repeats per cell in the phase pass "
                           "(default 1)")
+    _add_backend_args(arn)
+
+    sub.add_parser(
+        "backends",
+        help="list registered executor backends and capability flags",
+    )
+
+    cch = sub.add_parser(
+        "cache",
+        help="result-cache stats and (optional) pruning",
+    )
+    cch.add_argument("--cache-dir", default="results/cache",
+                     help="result cache root (default results/cache)")
+    cch.add_argument("--max-age-days", type=float, default=None,
+                     help="prune entries older than this many days")
+    cch.add_argument("--max-entries", type=int, default=None,
+                     help="prune oldest entries beyond this count")
+    cch.add_argument("--dry-run", action="store_true",
+                     help="report what pruning would remove, delete "
+                          "nothing")
+
+    wpl = sub.add_parser(
+        "worker-pool",
+        help="serve a shared-dir spool as a worker (multi-host sweeps)",
+    )
+    wpl.add_argument("--spool", required=True,
+                     help="spool directory shared with the sweeping host")
+    wpl.add_argument("--poll", type=float, default=0.2,
+                     help="seconds between claim attempts when idle "
+                          "(default 0.2)")
+    wpl.add_argument("--lease", type=float, default=15.0,
+                     help="claim lease in seconds; must match the "
+                          "sweeping host's (default 15)")
+    wpl.add_argument("--idle-exit", type=float, default=None,
+                     help="exit after this many idle seconds "
+                          "(default: serve forever)")
+    wpl.add_argument("--max-tasks", type=int, default=None,
+                     help="exit after executing this many runs "
+                          "(default: unbounded)")
 
     sub.add_parser(
         "schedulers",
@@ -316,6 +368,43 @@ def _add_single_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--warmup", type=float, default=50_000,
                         help="warm-up ms discarded (default 50000)")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_backend_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", choices=backend_names(),
+                        default="local",
+                        help="executor backend (default local; see "
+                             "'repro backends')")
+    parser.add_argument("--spool", default="",
+                        help="spool directory for --backend shared-dir "
+                             "(must be reachable by every worker host)")
+    parser.add_argument("--spool-workers", type=int, default=None,
+                        help="local worker processes spawned against the "
+                             "spool (shared-dir only; default: --pool; "
+                             "0 relies entirely on remote 'repro "
+                             "worker-pool' hosts)")
+
+
+def _backend_options(args: argparse.Namespace) -> typing.Dict[str, object]:
+    """Translate --backend/--spool flags into backend constructor options."""
+    if args.backend == "shared-dir":
+        if not args.spool:
+            raise SystemExit("--backend shared-dir needs --spool")
+        options: typing.Dict[str, object] = {"spool": args.spool}
+        if args.spool_workers is not None:
+            if args.spool_workers < 0:
+                raise SystemExit(
+                    f"--spool-workers must be >= 0, got {args.spool_workers}"
+                )
+            options["local_workers"] = args.spool_workers
+        return options
+    if args.spool:
+        raise SystemExit("--spool only applies to --backend shared-dir")
+    if args.spool_workers is not None:
+        raise SystemExit(
+            "--spool-workers only applies to --backend shared-dir"
+        )
+    return {}
 
 
 def _make_workload(args: argparse.Namespace):
@@ -500,6 +589,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
         series_dir=args.series_dir or None,
         telemetry=args.telemetry,
         stall_timeout_s=args.stall_timeout,
+        backend=args.backend,
+        backend_options=_backend_options(args),
     )
     specs = [
         RunSpec(
@@ -544,6 +635,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     counts = (runner.last_batch or {}).get("counts", {})
     line = (
         f"[runner] pool={runner.pool_size} "
+        f"backend={runner.backend_name} "
         f"cache hits={counts.get('cache_hits', 0)} "
         f"misses={counts.get('cache_misses', 0)} "
         f"simulated={counts.get('simulated', 0)} "
@@ -616,6 +708,8 @@ def _command_bench(args: argparse.Namespace) -> int:
         cache=None,
         runs_dir=(args.runs_dir or None) if args.telemetry else None,
         telemetry=args.telemetry,
+        backend=args.backend,
+        backend_options=_backend_options(args),
     )
     matrix = (
         bench_mod.BENCH_QUICK_MATRIX if args.quick
@@ -632,6 +726,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         rows,
         git_sha=_git_sha(),
         batch=runner.last_batch_id if args.telemetry else None,
+        backend=runner.backend_name,
     )
     bench_mod.validate_bench(payload)
     path = args.output or bench_mod.default_bench_path(
@@ -798,6 +893,8 @@ def _command_arena(args: argparse.Namespace) -> int:
     runner = ParallelRunner(
         pool_size=args.pool,
         cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+        backend=args.backend,
+        backend_options=_backend_options(args),
     )
     results = runner.run_batch(specs, label="arena")
     bench_rows = None
@@ -825,6 +922,114 @@ def _command_arena(args: argparse.Namespace) -> int:
         print(f"[arena] ERROR: {payload['failed_cells']} cell(s) failed",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def _command_backends() -> int:
+    rows = []
+    for name in backend_names():
+        info = get_backend_info(name)
+        flags = info.flags
+        tags = [
+            tag
+            for tag, on in (
+                ("kill", flags.supports_kill),
+                ("isolates", flags.isolates_runs),
+                ("distributed", flags.distributed),
+                ("inline", flags.inline),
+            )
+            if on
+        ]
+        rows.append([name, ", ".join(tags) or "-", info.summary])
+    print(render_table(
+        ["name", "capabilities", "description"],
+        typing.cast(typing.List[typing.List[object]], rows),
+        title="executor backends (select with sweep/bench/arena "
+              "--backend)",
+    ))
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    if not args.cache_dir:
+        raise SystemExit("cache needs a --cache-dir")
+    if args.max_age_days is not None and args.max_age_days < 0:
+        raise SystemExit(
+            f"--max-age-days must be >= 0, got {args.max_age_days:g}"
+        )
+    if args.max_entries is not None and args.max_entries < 0:
+        raise SystemExit(
+            f"--max-entries must be >= 0, got {args.max_entries}"
+        )
+    cache = ResultCache(args.cache_dir)
+    pruning = args.max_age_days is not None or args.max_entries is not None
+    if pruning:
+        report = cache.gc(
+            max_age_s=(
+                args.max_age_days * 86_400.0
+                if args.max_age_days is not None
+                else None
+            ),
+            max_entries=args.max_entries,
+            dry_run=args.dry_run,
+        )
+        verb = "would prune" if args.dry_run else "pruned"
+        print(f"[cache] {verb} {report['pruned']} of "
+              f"{report['examined']} entr(ies), keeping {report['kept']}")
+    elif args.dry_run:
+        raise SystemExit(
+            "--dry-run needs --max-age-days and/or --max-entries"
+        )
+    stats = cache.stats()
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["root", stats["root"]],
+            ["entries", stats["entries"]],
+            ["total bytes", stats["total_bytes"]],
+            [
+                "oldest age (s)",
+                stats["oldest_age_s"]
+                if stats["oldest_age_s"] is not None
+                else "-",
+            ],
+            [
+                "newest age (s)",
+                stats["newest_age_s"]
+                if stats["newest_age_s"] is not None
+                else "-",
+            ],
+        ],
+        title="result cache",
+    ))
+    return 0
+
+
+def _command_worker_pool(args: argparse.Namespace) -> int:
+    if args.poll <= 0:
+        raise SystemExit(f"--poll must be > 0, got {args.poll:g}")
+    if args.lease <= 0:
+        raise SystemExit(f"--lease must be > 0, got {args.lease:g}")
+    if args.idle_exit is not None and args.idle_exit < 0:
+        raise SystemExit(
+            f"--idle-exit must be >= 0, got {args.idle_exit:g}"
+        )
+    if args.max_tasks is not None and args.max_tasks < 1:
+        raise SystemExit(f"--max-tasks must be >= 1, got {args.max_tasks}")
+    print(f"[worker-pool] serving spool {args.spool} "
+          f"(lease={args.lease:g}s; Ctrl-C to stop)", flush=True)
+    try:
+        processed = worker_pool_loop(
+            args.spool,
+            poll_s=args.poll,
+            lease_s=args.lease,
+            idle_exit_s=args.idle_exit,
+            max_tasks=args.max_tasks,
+        )
+    except KeyboardInterrupt:
+        print("[worker-pool] interrupted", file=sys.stderr)
+        return 130
+    print(f"[worker-pool] done: {processed} run(s) executed")
     return 0
 
 
@@ -878,6 +1083,12 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
             return _command_tail(args)
         if args.command == "arena":
             return _command_arena(args)
+        if args.command == "backends":
+            return _command_backends()
+        if args.command == "cache":
+            return _command_cache(args)
+        if args.command == "worker-pool":
+            return _command_worker_pool(args)
         if args.command == "schedulers":
             return _command_schedulers()
         return _command_experiments()

@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import socket
 import tempfile
 import time
 import traceback as traceback_mod
@@ -250,6 +251,12 @@ class WorkerTelemetry:
     least ``heartbeat_s`` wall seconds elapsed since the previous one,
     carrying the simulated clock, the cumulative event count and the
     fraction of the run horizon reached.
+
+    Every worker-emitted record carries ``host`` so a multi-host fleet
+    (the shared-dir backend) stays attributable in one merged stream;
+    ``to_dict`` / ``from_dict`` let a context cross non-pickle
+    boundaries (subprocess stdin, spool files) -- the path must then
+    name a *shared* filesystem location.
     """
 
     def __init__(
@@ -277,10 +284,39 @@ class WorkerTelemetry:
         self._sink: typing.Optional[TelemetrySink] = None
         self._last_beat = 0.0
 
+    def to_dict(self) -> typing.Dict[str, typing.Any]:
+        """JSON-able form (``on_emit`` does not travel; it stays None)."""
+        return {
+            "path": self.path,
+            "cell": self.cell,
+            "until_ms": self.until_ms,
+            "key": self.key,
+            "label": self.label,
+            "heartbeat_s": self.heartbeat_s,
+            "progress_every": self.progress_every,
+        }
+
+    @classmethod
+    def from_dict(
+        cls, payload: typing.Mapping[str, typing.Any]
+    ) -> "WorkerTelemetry":
+        return cls(
+            path=payload["path"],
+            cell=int(payload["cell"]),
+            until_ms=float(payload["until_ms"]),
+            key=payload.get("key", ""),
+            label=payload.get("label", ""),
+            heartbeat_s=float(payload.get("heartbeat_s", 0.5)),
+            progress_every=int(payload.get("progress_every", 4096)),
+        )
+
     def _emit(self, kind: str, **fields: typing.Any) -> None:
         if self._sink is None:
             self._sink = TelemetrySink(self.path, after_emit=self.on_emit)
-        self._sink.emit(kind, cell=self.cell, pid=os.getpid(), **fields)
+        self._sink.emit(
+            kind, cell=self.cell, pid=os.getpid(),
+            host=socket.gethostname(), **fields,
+        )
 
     def start(self) -> None:
         """Emit ``run.start``; call before any simulation work."""
@@ -358,6 +394,7 @@ class BatchStatus:
                 "until_ms": float(info.get("until_ms", 0.0)),
                 "events": 0,
                 "pid": None,
+                "host": None,
                 "attempt": 0,
                 "stalled": False,
                 "error": None,
@@ -405,6 +442,7 @@ class BatchStatus:
         elif kind == "run.start":
             cell["state"] = "running"
             cell["pid"] = record.get("pid")
+            cell["host"] = record.get("host")
             cell["attempt"] += 1
             cell["stalled"] = False
             cell["last_activity_ts"] = stamp
@@ -455,6 +493,7 @@ class BatchStatus:
         elif kind == "run.retry":
             cell["state"] = "pending"
             cell["pid"] = None
+            cell["host"] = None
 
     def pid_of(self, cell: int) -> typing.Optional[int]:
         return self.cells[cell]["pid"]
@@ -510,7 +549,12 @@ class BatchStatus:
             ),
             "eta_s": eta_s,
             "workers": [
-                {"pid": c["pid"], "cell": c["cell"]}
+                # host only when a worker reported one, so single-host
+                # snapshots stay byte-for-byte what they always were
+                dict(
+                    {"pid": c["pid"], "cell": c["cell"]},
+                    **({"host": c["host"]} if c["host"] else {}),
+                )
                 for c in self.cells
                 if c["state"] in ("running", "stalled")
                 and c["pid"] is not None
@@ -606,6 +650,9 @@ def render_status(
         suffix = state
         if state == "running" and cell.get("pid"):
             suffix += f" pid={cell['pid']}"
+            host = cell.get("host")
+            if host and host != socket.gethostname():
+                suffix += f"@{host}"
         if state in ("running", "stalled") and cell.get("stalled"):
             last = cell.get("last_activity_ts")
             idle = f" {now - last:.0f}s" if last else ""

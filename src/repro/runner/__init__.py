@@ -8,14 +8,31 @@ work.  See ``docs/RUNNER.md`` for the cache and manifest layout.
 Public surface:
 
 - :class:`RunSpec` / :class:`WorkloadSpec` -- declarative run inputs.
-- :class:`ResultCache` -- content-addressed result store.
-- :class:`ParallelRunner` -- batch executor (pool + cache + manifest,
-  plus live telemetry, stall detection and broken-pool recovery).
+- :class:`ResultCache` -- content-addressed result store (with
+  ``stats``/``gc`` maintenance for long-lived shared caches).
+- :class:`ParallelRunner` -- batch orchestrator (dispatch + cache +
+  manifest, plus live telemetry, stall detection and crash triage)
+  over a pluggable :class:`ExecutorBackend`.
+- :func:`create_backend` / :func:`backend_names` -- the executor
+  registry: ``serial``, ``local`` (process pool), ``asyncio``
+  (subprocess-per-run) and ``shared-dir`` (multi-host spool).
 - :class:`RunRegistry` -- persistent index of every executed batch.
 - :func:`execute_spec` -- one spec, inline, no orchestration.
+- :func:`worker_pool_loop` -- serve a shared-dir spool as a worker.
 - :func:`default_runner` -- runner over the ``results/`` layout.
 """
 
+from repro.runner.backends import (
+    BackendCapabilities,
+    ExecutorBackend,
+    JobOutcome,
+    WorkerTaskError,
+    backend_names,
+    create_backend,
+    get_backend_info,
+    register_backend,
+    worker_pool_loop,
+)
 from repro.runner.cache import ResultCache
 from repro.runner.registry import (
     REGISTRY_FILENAME,
@@ -38,19 +55,28 @@ from repro.runner.spec import (
 from repro.runner.worker import execute_bench, execute_spec
 
 __all__ = [
+    "BackendCapabilities",
     "CACHE_FORMAT_VERSION",
+    "ExecutorBackend",
+    "JobOutcome",
     "REGISTRY_FILENAME",
     "ParallelRunner",
     "ResultCache",
     "RunEvent",
     "RunRegistry",
     "RunSpec",
+    "WorkerTaskError",
     "WorkloadSpec",
+    "backend_names",
+    "create_backend",
     "default_runner",
     "execute_bench",
     "execute_spec",
+    "get_backend_info",
     "print_progress",
+    "register_backend",
     "register_workload",
     "spec_digest",
+    "worker_pool_loop",
     "workload_kinds",
 ]

@@ -1,0 +1,118 @@
+"""Executor backends: where a batch's runs execute.
+
+The :class:`~repro.runner.runner.ParallelRunner` decides *what* to run;
+a backend registered here decides *where*.  ``repro backends`` lists
+this registry, ``repro sweep --backend NAME`` selects from it, and the
+conformance battery in ``tests/runner/test_backends.py`` drives every
+entry through the same scenarios -- a new backend is a subclass of
+:class:`ExecutorBackend`, one :func:`register_backend` call, and a
+green conformance run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.runner.backends.base import (
+    BackendCapabilities,
+    ExecutorBackend,
+    JobOutcome,
+    WorkerTaskError,
+)
+from repro.runner.backends.asyncio_subprocess import AsyncioSubprocessBackend
+from repro.runner.backends.local import LocalPoolBackend, SerialBackend
+from repro.runner.backends.shared_dir import (
+    SharedDirBackend,
+    worker_pool_loop,
+)
+
+__all__ = [
+    "AsyncioSubprocessBackend",
+    "BackendCapabilities",
+    "BackendInfo",
+    "ExecutorBackend",
+    "JobOutcome",
+    "LocalPoolBackend",
+    "SerialBackend",
+    "SharedDirBackend",
+    "WorkerTaskError",
+    "backend_names",
+    "create_backend",
+    "get_backend_info",
+    "register_backend",
+    "worker_pool_loop",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class BackendInfo:
+    """One registry entry: class, one-line summary, static flags.
+
+    ``flags`` describes the backend *kind* (instance capabilities add
+    sizing): what ``repro backends`` prints without having to build an
+    instance, which the shared-dir backend could not even do without a
+    spool directory.
+    """
+
+    cls: typing.Type[ExecutorBackend]
+    summary: str
+    flags: BackendCapabilities
+
+
+_REGISTRY: typing.Dict[str, BackendInfo] = {}
+
+
+def register_backend(
+    cls: typing.Type[ExecutorBackend],
+    summary: str,
+    flags: BackendCapabilities,
+) -> None:
+    """Add a backend class under its ``name`` (last write wins)."""
+    _REGISTRY[cls.name] = BackendInfo(cls=cls, summary=summary, flags=flags)
+
+
+def backend_names() -> typing.List[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_backend_info(name: str) -> BackendInfo:
+    """The registry entry for ``name`` (KeyError lists what exists)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; registered: "
+            f"{', '.join(backend_names())}"
+        ) from None
+
+
+def create_backend(
+    name: str, workers: int = 1, **options: typing.Any
+) -> ExecutorBackend:
+    """Instantiate a registered backend sized to ``workers``."""
+    info = get_backend_info(name)
+    return info.cls(workers=workers, **options)
+
+
+register_backend(
+    SerialBackend,
+    "in-process, one run at a time (the conformance reference)",
+    BackendCapabilities(inline=True, max_workers=1),
+)
+register_backend(
+    LocalPoolBackend,
+    "local process pool (the default); a stall kill breaks the pool",
+    BackendCapabilities(supports_kill=True),
+)
+register_backend(
+    AsyncioSubprocessBackend,
+    "one supervised subprocess per run; per-run kill, no pool teardown",
+    BackendCapabilities(supports_kill=True, isolates_runs=True),
+)
+register_backend(
+    SharedDirBackend,
+    "spool-directory fabric; any `repro worker-pool` host joins in",
+    BackendCapabilities(isolates_runs=True, distributed=True),
+)

@@ -1,0 +1,102 @@
+"""The unit of work backends move around: one JSON-able task dict.
+
+A task fully describes one run -- kind (``sweep`` or ``bench``), cell
+index, spec, artifact directories, bench repeats and the optional
+worker-telemetry context -- as plain data, so every backend shares one
+contract: the local pool pickles the dict to a pool worker, the asyncio
+backend writes it to a subprocess's stdin, the shared-dir backend
+renames it through a spool directory to another host.
+
+:func:`run_task` executes a task wherever it lands and returns the
+*live* result object (a :class:`~repro.sim.metrics.SimulationResult`
+or a bench row).  Backends that cross a host/stdio boundary encode that
+with :func:`encode_result` and the parent restores it with
+:func:`decode_result`; the round-trip is the same ``to_dict`` /
+``from_dict`` pair the result cache uses, so results stay
+byte-identical whichever backend carried them.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.obs.telemetry import WorkerTelemetry
+from repro.runner.spec import RunSpec
+from repro.runner.worker import execute_bench, execute_spec
+from repro.sim.metrics import SimulationResult
+
+Task = typing.Dict[str, typing.Any]
+
+
+def sweep_task(
+    cell: int,
+    spec: RunSpec,
+    traces_dir: typing.Optional[str] = None,
+    series_dir: typing.Optional[str] = None,
+    telemetry: typing.Optional[WorkerTelemetry] = None,
+) -> Task:
+    """One cache-missed sweep cell as a backend-portable task."""
+    return {
+        "kind": "sweep",
+        "cell": cell,
+        "spec": spec.to_dict(),
+        "traces_dir": traces_dir,
+        "series_dir": series_dir,
+        "telemetry": telemetry.to_dict() if telemetry is not None else None,
+    }
+
+
+def bench_task(
+    cell: int,
+    spec: RunSpec,
+    repeats: int,
+    telemetry: typing.Optional[WorkerTelemetry] = None,
+) -> Task:
+    """One perf-measurement cell as a backend-portable task."""
+    return {
+        "kind": "bench",
+        "cell": cell,
+        "spec": spec.to_dict(),
+        "repeats": repeats,
+        "telemetry": telemetry.to_dict() if telemetry is not None else None,
+    }
+
+
+def run_task(task: Task) -> typing.Any:
+    """Execute ``task`` in this process; returns the live result object."""
+    spec = RunSpec.from_dict(task["spec"])
+    context = task.get("telemetry")
+    telemetry = (
+        WorkerTelemetry.from_dict(context) if context is not None else None
+    )
+    if task["kind"] == "bench":
+        return execute_bench(
+            spec, repeats=int(task.get("repeats", 1)), telemetry=telemetry
+        )
+    if task["kind"] == "sweep":
+        return execute_spec(
+            spec,
+            traces_dir=task.get("traces_dir"),
+            series_dir=task.get("series_dir"),
+            telemetry=telemetry,
+        )
+    raise ValueError(f"unknown task kind {task.get('kind')!r}")
+
+
+def run_task_indexed(task: Task) -> typing.Tuple[int, typing.Any]:
+    """Pool-friendly wrapper carrying the cell index through the pool."""
+    return task["cell"], run_task(task)
+
+
+def encode_result(task: Task, result: typing.Any) -> typing.Any:
+    """The JSON form of a task's result, for transport."""
+    if task["kind"] == "sweep":
+        return typing.cast(SimulationResult, result).to_dict()
+    return result  # bench rows are already plain dicts
+
+
+def decode_result(task: Task, payload: typing.Any) -> typing.Any:
+    """Restore a transported result to what :func:`run_task` returns."""
+    if task["kind"] == "sweep":
+        return SimulationResult.from_dict(payload)
+    return payload

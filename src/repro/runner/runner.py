@@ -6,39 +6,50 @@ order, no matter how execution interleaves:
 
 - duplicate specs inside a batch are *coalesced* (simulated once);
 - specs seen before are served from the :class:`ResultCache`;
-- the remainder fans out over a process pool, streaming a progress line
-  per completed run;
+- the remainder fans out over an :class:`ExecutorBackend` (the local
+  process pool by default; ``backend=`` selects an asyncio-subprocess
+  or shared-directory multi-host fabric instead), streaming a progress
+  line per completed run;
 - every batch appends a JSON manifest under ``runs_dir`` recording the
   specs, git SHA, wall time and cache hit/miss counts, and registers
   itself in the :class:`~repro.runner.registry.RunRegistry` index.
 
 Because each run is a pure function of its spec, results are identical
-for any pool size -- the determinism tests assert byte-identical output
-for pool sizes 1 and N.
+for any pool size *and any backend* -- the determinism tests assert
+byte-identical output for pool sizes 1 and N, and the backend
+conformance battery asserts it against the serial reference for every
+registered backend.
+
+The runner is the *orchestration core*: it owns dispatch order,
+dedup/coalescing, cache lookups, stall detection, retry and isolation
+policy, and manifest/registry/status writing.  Backends own process
+(or host) placement behind the small protocol in
+:mod:`repro.runner.backends.base`; worker deaths come back as crashed
+outcomes the runner triages, never as exceptions that lose the batch.
 
 Live telemetry (``telemetry=True``): workers append lifecycle records
 to ``<runs_dir>/<batch_id>/telemetry.jsonl`` and the runner folds them
 into an atomically rewritten ``status.json`` (watch it with ``repro
 watch``).  With a ``stall_timeout_s`` the runner watches heartbeats: a
-running worker silent for that long is marked *stalled*, killed, and
-(``stall_retry``) resubmitted once -- a hung cell can fail, but it can
-never hang the batch.  A worker process that dies abruptly (OOM kill,
-segfault) is caught as ``BrokenProcessPool``: the affected cells are
-recorded as failed in the manifest and the batch returns its partial
-results instead of losing everything.  ``KeyboardInterrupt`` writes a
-partial manifest marked ``interrupted`` before propagating.
+running worker silent for that long is marked *stalled*, then killed
+when the backend supports it (per-run on isolating backends; breaking
+the shared pool on the local one) or abandoned when it does not
+(shared-dir: the worker may be on another host), and (``stall_retry``)
+resubmitted once -- a hung cell can fail, but it can never hang the
+batch.  A worker process that dies abruptly (OOM kill, segfault)
+surfaces as a crashed outcome: the affected cells are recorded as
+failed in the manifest and the batch returns its partial results
+instead of losing everything.  ``KeyboardInterrupt`` writes a partial
+manifest marked ``interrupted`` before propagating.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
-import concurrent.futures.process
 import dataclasses
 import json
 import os
 import pathlib
 import re
-import signal
 import subprocess
 import sys
 import tempfile
@@ -52,13 +63,18 @@ from repro.obs.telemetry import (
     WorkerTelemetry,
     read_telemetry_records,
 )
+from repro.runner.backends import (
+    ExecutorBackend,
+    WorkerTaskError,
+    create_backend,
+    get_backend_info,
+)
+from repro.runner.backends.task import bench_task, sweep_task
 from repro.runner.cache import ResultCache
 from repro.runner.registry import RunRegistry, spec_digest
 from repro.runner.spec import RunSpec
 from repro.runner.worker import (
     execute_bench,
-    execute_bench_indexed,
-    execute_indexed,
     execute_spec,
     series_artifact_path,
     trace_artifact_path,
@@ -156,6 +172,7 @@ class _BatchTelemetry:
         heartbeat_s: float,
         progress_every: int,
         stall_timeout_s: typing.Optional[float],
+        backend: str = "local",
     ) -> None:
         self.dir = pathlib.Path(runs_dir) / batch_id
         self.dir.mkdir(parents=True, exist_ok=True)
@@ -190,6 +207,7 @@ class _BatchTelemetry:
             label=label,
             total=len(specs),
             mode=kind,
+            backend=backend,
         )
         self.tick(force=True)
 
@@ -288,6 +306,10 @@ class ParallelRunner:
         stall_retry: bool = True,
         heartbeat_s: float = 0.5,
         progress_every: int = 4096,
+        backend: str = "local",
+        backend_options: typing.Optional[
+            typing.Dict[str, typing.Any]
+        ] = None,
     ) -> None:
         if pool_size is not None and pool_size < 1:
             raise ValueError(f"pool_size must be >= 1, got {pool_size}")
@@ -299,6 +321,12 @@ class ParallelRunner:
             raise ValueError(
                 f"stall_timeout_s must be > 0, got {stall_timeout_s}"
             )
+        try:
+            get_backend_info(backend)
+        except KeyError as exc:
+            raise ValueError(str(exc)) from None
+        self.backend_name = backend
+        self.backend_options = dict(backend_options or {})
         self.pool_size = pool_size or os.cpu_count() or 1
         self.cache = cache
         self.runs_dir = pathlib.Path(runs_dir) if runs_dir is not None else None
@@ -471,7 +499,7 @@ class ParallelRunner:
         status = "complete"
         try:
             workers = min(self.pool_size, len(specs)) if specs else 0
-            if workers <= 1:
+            if workers == 0 or self._inline_for(workers):
                 for index, spec in enumerate(specs):
                     run_started = time.time()
                     context = (
@@ -488,7 +516,7 @@ class ParallelRunner:
                     if tele is not None:
                         tele.tick()
             else:
-                done = self._run_bench_pool(
+                done = self._run_bench_backend(
                     specs, repeats, workers, label, rows, tele, started
                 )
         except KeyboardInterrupt:
@@ -515,7 +543,7 @@ class ParallelRunner:
             typing.List[typing.Dict[str, typing.Any]], rows
         )
 
-    def _run_bench_pool(
+    def _run_bench_backend(
         self,
         specs: typing.Sequence[RunSpec],
         repeats: int,
@@ -525,46 +553,57 @@ class ParallelRunner:
         tele: typing.Optional[_BatchTelemetry],
         started: float,
     ) -> int:
-        """The pooled half of :meth:`run_bench`; returns the done count."""
+        """The fanned-out half of :meth:`run_bench`; returns done count.
+
+        Bench rows are measurements, not cacheable model results, so
+        there is no retry policy here: a worker death fails the batch
+        fast (a retried timing on a disturbed host would be a lie).
+        """
         done = 0
-        pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+        backend = create_backend(
+            self.backend_name, workers=workers, **self.backend_options
+        )
         try:
-            inflight = {
-                pool.submit(
-                    execute_bench_indexed,
-                    (
-                        index,
-                        spec,
-                        repeats,
-                        tele.worker_context(index)
-                        if tele is not None
-                        else None,
-                    ),
-                ): index
-                for index, spec in enumerate(specs)
-            }
-            while inflight:
-                ready, _ = concurrent.futures.wait(
-                    list(inflight),
-                    timeout=(
-                        _BatchTelemetry.POLL_S if tele is not None else None
-                    ),
-                    return_when=concurrent.futures.FIRST_COMPLETED,
+            backend.prepare(len(specs))
+            outstanding: typing.Set[int] = set()
+            for index, spec in enumerate(specs):
+                context = (
+                    tele.worker_context(index) if tele is not None else None
                 )
-                for future in ready:
-                    index = inflight.pop(future)
-                    _index, row = future.result()
-                    rows[index] = row
+                backend.submit(bench_task(index, spec, repeats, context))
+                outstanding.add(index)
+            while outstanding:
+                outcomes = backend.poll(
+                    _BatchTelemetry.POLL_S if tele is not None else None
+                )
+                for outcome in outcomes:
+                    if outcome.cell not in outstanding:
+                        continue
+                    outstanding.discard(outcome.cell)
+                    if outcome.crashed:
+                        raise WorkerTaskError(
+                            f"bench worker died abruptly: {outcome.error}"
+                        )
+                    if outcome.error is not None:
+                        self._record_failure(
+                            outcome.cell, outcome.error, tele, emit=False
+                        )
+                        if outcome.exception is not None:
+                            raise outcome.exception
+                        raise WorkerTaskError(
+                            outcome.error, outcome.traceback
+                        )
+                    rows[outcome.cell] = outcome.result
                     done += 1
                     self._emit(RunEvent(
                         "run-done", label, done, len(specs),
-                        spec=specs[index],
+                        spec=specs[outcome.cell],
                         elapsed_s=time.time() - started,
                     ))
                 if tele is not None:
                     tele.tick()
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            backend.shutdown()
         return done
 
     # -- execution ----------------------------------------------------------
@@ -597,16 +636,34 @@ class ParallelRunner:
             self.series_dir.mkdir(parents=True, exist_ok=True)
             series_dir = str(self.series_dir)
         workers = min(self.pool_size, len(pending))
-        if workers == 1:
+        if self._inline_for(workers):
             yield from self._execute_inline(
                 specs, pending, traces_dir, series_dir, tele
             )
         else:
-            yield from self._execute_pool(
-                specs, pending, traces_dir, series_dir, tele, workers
+            backend = create_backend(
+                self.backend_name, workers=workers, **self.backend_options
             )
+            try:
+                yield from self._execute_backend(
+                    specs, pending, traces_dir, series_dir, tele, backend
+                )
+            finally:
+                backend.shutdown()
         if tele is not None:
             tele.tick(force=True)
+
+    def _inline_for(self, workers: int) -> bool:
+        """Whether this execution runs on the in-process serial path.
+
+        ``serial`` always does (it is the reference semantics), and the
+        default local backend keeps its historical behaviour of running
+        single-worker batches in-process rather than through a
+        one-process pool.
+        """
+        if self.backend_name == "serial":
+            return True
+        return self.backend_name == "local" and workers <= 1
 
     def _execute_inline(
         self,
@@ -634,101 +691,124 @@ class ParallelRunner:
             if tele is not None:
                 tele.tick()
 
-    def _execute_pool(
+    def _execute_backend(
         self,
         specs: typing.Sequence[RunSpec],
         pending: typing.Sequence[int],
         traces_dir: typing.Optional[str],
         series_dir: typing.Optional[str],
         tele: typing.Optional[_BatchTelemetry],
-        workers: int,
+        backend: ExecutorBackend,
     ) -> typing.Iterator[typing.Tuple[int, SimulationResult, float]]:
-        """Pool path with telemetry ticks, stall kills and death triage.
+        """Fan out over a backend: telemetry ticks, stall policy, triage.
 
-        The loop never blocks indefinitely on a future: with telemetry
-        it waits at most ``POLL_S`` between ticks, and a stalled worker
-        is killed, which breaks the pool and surfaces every in-flight
-        future as ``BrokenProcessPool`` for triage (retry the stalled
-        cell once, resubmit innocent bystanders, fail the rest).
+        The loop never blocks indefinitely on the backend: with
+        telemetry it polls at most ``POLL_S`` between ticks.  A stalled
+        worker is killed where the backend supports it -- per-run on an
+        isolating backend; on the shared local pool the kill breaks the
+        pool and the backend reports *every* in-flight run as a crashed
+        casualty for triage (retry the stalled cell once, resubmit
+        innocent bystanders, fail the rest).  Where it does not
+        (shared-dir: the worker may be on another host), the attempt is
+        abandoned instead and triaged the same way.
         """
+        capabilities = backend.capabilities
+        # bystanders exist only where one worker's death can break
+        # others; on isolating backends a crash always indicts its own
+        # cell (treating it as a bystander would resubmit a
+        # deterministic crasher forever)
+        bystander_possible = not capabilities.isolates_runs
         remaining = list(pending)
         retried: typing.Set[int] = set()
         killed: typing.Set[int] = set()
         batch_started = time.time()
         while remaining:
-            # cells on their second attempt run one per (single-worker)
-            # pool round: if one is a deterministic crasher it can only
-            # take itself down, never a fellow retry
+            # cells on their second attempt run one per isolated round:
+            # if one is a deterministic crasher it can only take itself
+            # down, never a fellow retry
             isolate = [cell for cell in remaining if cell in retried]
             if isolate:
                 submit = [isolate[0]]
                 remaining = [c for c in remaining if c != isolate[0]]
             else:
                 submit, remaining = remaining, []
-            pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(workers, len(submit))
-            )
-            inflight: typing.Dict[concurrent.futures.Future, int] = {}
-            try:
-                for index in submit:
-                    context = (
-                        tele.worker_context(index) if tele is not None else None
-                    )
-                    inflight[pool.submit(
-                        execute_indexed,
-                        (index, specs[index], traces_dir, series_dir, context),
-                    )] = index
-                while inflight:
-                    ready, _ = concurrent.futures.wait(
-                        list(inflight),
-                        timeout=(
-                            _BatchTelemetry.POLL_S
-                            if tele is not None
-                            else None
-                        ),
-                        return_when=concurrent.futures.FIRST_COMPLETED,
-                    )
-                    breakage: typing.Optional[BaseException] = None
-                    casualties: typing.List[int] = []
-                    for future in ready:
-                        index = inflight.pop(future)
-                        try:
-                            _index, result = future.result()
-                        except concurrent.futures.process.BrokenProcessPool as exc:
-                            breakage = exc
-                            casualties.append(index)
-                        except Exception as exc:
-                            # a deterministic worker exception: record it
-                            # (the worker already emitted run.error with
-                            # traceback) and fail fast -- unlike a death
-                            # or stall, retrying cannot help
-                            self._record_failure(
-                                index,
-                                f"{type(exc).__name__}: {exc}",
-                                tele,
-                                emit=False,
-                            )
-                            raise
-                        else:
-                            killed.discard(index)
-                            yield (
-                                index, result, time.time() - batch_started
-                            )
-                    if breakage is not None:
-                        casualties.extend(inflight.values())
-                        inflight.clear()
-                        self._triage_casualties(
-                            casualties, killed, retried, remaining,
-                            breakage, tele,
+            backend.prepare(len(submit))
+            inflight: typing.Set[int] = set()
+            for index in submit:
+                context = (
+                    tele.worker_context(index) if tele is not None else None
+                )
+                backend.submit(
+                    sweep_task(
+                        index, specs[index], traces_dir, series_dir, context
+                    ),
+                    isolated=index in retried,
+                )
+                inflight.add(index)
+            while inflight:
+                outcomes = backend.poll(
+                    _BatchTelemetry.POLL_S if tele is not None else None
+                )
+                crashed: typing.List[int] = []
+                crash_reason = "worker process lost"
+                for outcome in outcomes:
+                    if outcome.cell not in inflight:
+                        continue  # late echo of an abandoned attempt
+                    inflight.discard(outcome.cell)
+                    if outcome.crashed:
+                        crashed.append(outcome.cell)
+                        if outcome.error:
+                            crash_reason = outcome.error
+                    elif outcome.error is not None:
+                        # a deterministic worker exception: record it
+                        # (the worker already emitted run.error with
+                        # traceback) and fail fast -- unlike a death
+                        # or stall, retrying cannot help
+                        self._record_failure(
+                            outcome.cell, outcome.error, tele, emit=False
                         )
+                        if outcome.exception is not None:
+                            raise outcome.exception
+                        raise WorkerTaskError(
+                            outcome.error, outcome.traceback
+                        )
+                    else:
+                        killed.discard(outcome.cell)
+                        yield (
+                            outcome.cell,
+                            outcome.result,
+                            time.time() - batch_started,
+                        )
+                if crashed:
+                    self._triage_casualties(
+                        crashed, killed, retried, remaining,
+                        crash_reason, tele, bystander_possible,
+                    )
+                    if bystander_possible:
+                        # the shared pool broke: poll() reported every
+                        # in-flight run as a casualty, so start a fresh
+                        # round for whatever triage requeued
                         killed.clear()
-                        break  # rebuild the pool for whatever remains
-                    if tele is not None:
-                        for cell in tele.tick():
+                        inflight.clear()
+                        break
+                    killed.difference_update(crashed)
+                if tele is not None:
+                    for cell in tele.tick():
+                        if cell not in inflight:
+                            continue
+                        if capabilities.supports_kill:
                             killed.add(cell)
-                            self._kill_worker(tele.status.pid_of(cell), pool)
-            finally:
-                pool.shutdown(wait=False, cancel_futures=True)
+                            backend.kill(cell, tele.status.pid_of(cell))
+                        else:
+                            # no cross-host kill: abandon this attempt
+                            # and triage it like a kill casualty
+                            backend.cancel(cell)
+                            inflight.discard(cell)
+                            self._triage_casualties(
+                                [cell], {cell}, retried, remaining,
+                                "stalled", tele, bystander_possible=False,
+                                stall_note="abandoned; backend cannot kill",
+                            )
 
     def _triage_casualties(
         self,
@@ -736,10 +816,12 @@ class ParallelRunner:
         killed: typing.Set[int],
         retried: typing.Set[int],
         remaining: typing.List[int],
-        breakage: BaseException,
+        reason: str,
         tele: typing.Optional[_BatchTelemetry],
+        bystander_possible: bool,
+        stall_note: str = "worker killed",
     ) -> None:
-        """Decide each broken-pool casualty's fate: retry, requeue, fail."""
+        """Decide each crashed casualty's fate: retry, requeue, fail."""
         for cell in casualties:
             if cell in killed:
                 if self.stall_retry and cell not in retried:
@@ -751,10 +833,10 @@ class ParallelRunner:
                     self._record_failure(
                         cell,
                         "stalled: no heartbeat for "
-                        f"{self.stall_timeout_s}s (worker killed)",
+                        f"{self.stall_timeout_s}s ({stall_note})",
                         tele,
                     )
-            elif killed:
+            elif killed and bystander_possible:
                 # innocent bystander of a stall kill: resubmit, no
                 # retry charge (its own stall would be its own kill)
                 remaining.append(cell)
@@ -769,7 +851,7 @@ class ParallelRunner:
                     tele.retry(cell, attempt=2)
             else:
                 self._record_failure(
-                    cell, f"worker died abruptly: {breakage}", tele
+                    cell, f"worker died abruptly: {reason}", tele
                 )
 
     def _record_failure(
@@ -782,23 +864,6 @@ class ParallelRunner:
         self.last_failures[index] = message
         if tele is not None and emit:
             tele.fail(index, message)
-
-    @staticmethod
-    def _kill_worker(
-        pid: typing.Optional[int],
-        pool: concurrent.futures.ProcessPoolExecutor,
-    ) -> None:
-        """Kill a stalled worker (breaking the pool deliberately)."""
-        if pid is not None:
-            try:
-                os.kill(pid, getattr(signal, "SIGKILL", signal.SIGTERM))
-                return
-            except OSError:
-                pass  # already gone; the pool will notice either way
-        # pid unknown (no run.start yet): take the pool down so the
-        # batch can triage and continue rather than hang forever
-        for process in list(getattr(pool, "_processes", {}).values()):
-            process.terminate()
 
     # -- bookkeeping --------------------------------------------------------
 
@@ -823,6 +888,7 @@ class ParallelRunner:
             heartbeat_s=self.heartbeat_s,
             progress_every=self.progress_every,
             stall_timeout_s=self.stall_timeout_s,
+            backend=self.backend_name,
         )
 
     def _register(
@@ -904,6 +970,7 @@ class ParallelRunner:
             "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "git_sha": self._git_sha,
             "pool_size": self.pool_size,
+            "backend": self.backend_name,
             "wall_s": round(wall_s, 3),
             "telemetry": str(tele.path) if tele is not None else None,
             "status_file": (
@@ -999,6 +1066,8 @@ def default_runner(
     ),
     telemetry: bool = False,
     stall_timeout_s: typing.Optional[float] = None,
+    backend: str = "local",
+    backend_options: typing.Optional[typing.Dict[str, typing.Any]] = None,
 ) -> ParallelRunner:
     """A runner with the conventional on-disk layout under ``results/``."""
     cache = ResultCache(cache_dir) if cache_dir is not None else None
@@ -1011,4 +1080,6 @@ def default_runner(
         series_dir=series_dir,
         telemetry=telemetry,
         stall_timeout_s=stall_timeout_s,
+        backend=backend,
+        backend_options=backend_options,
     )

@@ -31,7 +31,6 @@ import warnings
 
 from repro.machine.config import MachineConfig
 from repro.runner.spec import RunSpec, WorkloadSpec
-from repro.runner.worker import execute_spec
 from repro.sim.metrics import SimulationResult
 from repro.sim.simulation import Simulation
 from repro.txn.workload import Workload
@@ -80,6 +79,10 @@ def run_specs(
     """
     if runner is not None:
         return runner.run_batch(specs, label=label)
+    # imported here, not at module level: the worker module sits on the
+    # runner side of the runner <-> sim package cycle
+    from repro.runner.worker import execute_spec
+
     return [execute_spec(spec) for spec in specs]
 
 

@@ -140,3 +140,60 @@ class TestConcurrentWriters:
             p for p in path.parent.iterdir() if p.suffix == ".tmp"
         ]
         assert leftovers == []
+
+
+class TestMaintenance:
+    def fill(self, tmp_path, count, age_step_s=100.0):
+        """A cache of ``count`` entries with mtimes ``age_step_s`` apart."""
+        import os
+        import time
+
+        cache = ResultCache(tmp_path / "cache")
+        now = time.time()
+        for seed in range(count):
+            path = cache.put(make_spec(seed=seed), make_result(seed=seed))
+            aged = now - (count - seed) * age_step_s  # seed 0 is oldest
+            os.utime(path, (aged, aged))
+        return cache
+
+    def test_stats_counts_sizes_and_ages(self, tmp_path):
+        cache = self.fill(tmp_path, 3)
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["total_bytes"] > 0
+        assert stats["oldest_age_s"] > stats["newest_age_s"] > 0
+
+    def test_stats_on_empty_or_missing_root(self, tmp_path):
+        stats = ResultCache(tmp_path / "nowhere").stats()
+        assert stats["entries"] == 0
+        assert stats["oldest_age_s"] is None
+
+    def test_gc_by_age_prunes_only_old_entries(self, tmp_path):
+        cache = self.fill(tmp_path, 4)
+        report = cache.gc(max_age_s=250.0)  # entries are 100s apart
+        assert report == {
+            "examined": 4, "pruned": 2, "kept": 2, "dry_run": 0,
+        }
+        assert cache.get(make_spec(seed=0)) is None  # oldest: gone
+        assert cache.get(make_spec(seed=3)) is not None  # newest: kept
+
+    def test_gc_by_count_keeps_newest(self, tmp_path):
+        cache = self.fill(tmp_path, 5)
+        report = cache.gc(max_entries=2)
+        assert report["pruned"] == 3 and report["kept"] == 2
+        assert len(cache) == 2
+        assert cache.get(make_spec(seed=4)) is not None
+
+    def test_gc_dry_run_deletes_nothing(self, tmp_path):
+        cache = self.fill(tmp_path, 3)
+        report = cache.gc(max_entries=1, dry_run=True)
+        assert report["pruned"] == 2 and report["dry_run"] == 1
+        assert len(cache) == 3
+
+    def test_gc_drops_empty_fanout_dirs(self, tmp_path):
+        cache = self.fill(tmp_path, 2)
+        cache.gc(max_entries=0)
+        assert len(cache) == 0
+        assert not any(
+            p.is_dir() for p in cache.root.iterdir()
+        ), "empty fan-out dirs survived gc"

@@ -416,3 +416,113 @@ class TestArenaCommand:
     def test_empty_axes_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             self.run_arena(tmp_path, "--rates", "")
+
+
+class TestBackendsCommand:
+    def test_backends_lists_registry_with_capabilities(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("serial", "local", "asyncio", "shared-dir"):
+            assert name in out
+        assert "distributed" in out
+        assert "kill" in out
+
+    def test_sweep_accepts_and_reports_backend(self, tmp_path, capsys):
+        assert main([
+            "sweep", "NODC", "--rates", "0.4",
+            "--duration", "20000", "--warmup", "0",
+            "--cache-dir", str(tmp_path / "cache"), "--runs-dir", "",
+            "--pool", "1", "--backend", "serial",
+        ]) == 0
+        assert "backend=serial" in capsys.readouterr().out
+
+    def test_unknown_backend_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "NODC", "--backend", "fpga"])
+
+    def test_shared_dir_requires_spool(self):
+        with pytest.raises(SystemExit, match="--spool"):
+            main(["sweep", "NODC", "--rates", "0.4",
+                  "--backend", "shared-dir"])
+
+    def test_spool_rejected_for_other_backends(self, tmp_path):
+        with pytest.raises(SystemExit, match="shared-dir"):
+            main(["sweep", "NODC", "--rates", "0.4",
+                  "--backend", "local", "--spool", str(tmp_path)])
+
+    def test_bench_artifact_records_backend(self, tmp_path, capsys):
+        path = tmp_path / "b.json"
+        assert main([
+            "bench", "--duration", "5000", "--repeats", "1",
+            "--quick", "--output", str(path), "--backend", "serial",
+        ]) == 0
+        assert load_bench_json(path)["backend"] == "serial"
+
+
+class TestCacheCommand:
+    def _warm(self, tmp_path, capsys, rates="0.4"):
+        assert main([
+            "sweep", "NODC", "--rates", rates,
+            "--duration", "20000", "--warmup", "0",
+            "--cache-dir", str(tmp_path / "cache"), "--runs-dir", "",
+            "--pool", "1",
+        ]) == 0
+        capsys.readouterr()
+
+    def test_cache_stats(self, tmp_path, capsys):
+        self._warm(tmp_path, capsys)
+        assert main(["cache", "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "result cache" in out
+
+    def test_cache_prune_by_count(self, tmp_path, capsys):
+        self._warm(tmp_path, capsys, rates="0.4,0.5")
+        assert main([
+            "cache", "--cache-dir", str(tmp_path / "cache"),
+            "--max-entries", "1",
+        ]) == 0
+        assert "pruned 1 of 2" in capsys.readouterr().out
+
+    def test_cache_dry_run_keeps_entries(self, tmp_path, capsys):
+        self._warm(tmp_path, capsys)
+        assert main([
+            "cache", "--cache-dir", str(tmp_path / "cache"),
+            "--max-entries", "0", "--dry-run",
+        ]) == 0
+        assert "would prune 1" in capsys.readouterr().out
+        assert main(["cache", "--cache-dir",
+                     str(tmp_path / "cache")]) == 0
+        assert "entries" in capsys.readouterr().out
+
+    def test_dry_run_without_criteria_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "--cache-dir", str(tmp_path), "--dry-run"])
+
+
+class TestWorkerPoolCommand:
+    def test_worker_pool_drains_a_spooled_ticket(self, tmp_path, capsys):
+        import threading
+
+        spool = tmp_path / "spool"
+        sweep = threading.Thread(target=main, args=([
+            "sweep", "NODC", "--rates", "0.4",
+            "--duration", "20000", "--warmup", "0",
+            "--cache-dir", "", "--runs-dir", "",
+            "--backend", "shared-dir", "--spool", str(spool),
+            "--spool-workers", "0",
+        ],))
+        sweep.start()
+        code = main([
+            "worker-pool", "--spool", str(spool),
+            "--idle-exit", "30", "--max-tasks", "1",
+        ])
+        sweep.join(timeout=60.0)
+        assert code == 0
+        assert "1 run(s) executed" in capsys.readouterr().out
+
+    def test_worker_pool_validates_flags(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["worker-pool", "--spool", str(tmp_path), "--poll", "0"])
+        with pytest.raises(SystemExit):
+            main(["worker-pool", "--spool", str(tmp_path),
+                  "--max-tasks", "0"])
