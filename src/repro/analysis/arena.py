@@ -18,6 +18,11 @@ Two passes feed one report:
    self-profiler's per-phase wall-clock split, answering *where* each
    scheduler spends its time (scheduler decisions vs. lock manager vs.
    machine scan).
+3. **Explain pass** (optional) -- traced re-runs of the same specs
+   folded through :func:`repro.obs.attrib.fold_trace_path`: the
+   simulated time budget (queued / blocked / executing / wasted
+   transaction-seconds), answering *why* each scheduler's response
+   times look the way they do.
 """
 
 from __future__ import annotations
@@ -60,6 +65,16 @@ CELL_FIELDS = (
     "admission_rejections",
     "cn_utilisation",
     "dpn_utilisation",
+)
+
+#: fields an optional per-cell ``time_budget`` mapping must carry
+TIME_BUDGET_FIELDS = (
+    "queued_ms",
+    "blocked_ms",
+    "executing_ms",
+    "wasted_ms",
+    "total_ms",
+    "fractions",
 )
 
 
@@ -130,6 +145,26 @@ def _phase_summary(
     return phases
 
 
+def _budget_summary(
+    budget: typing.Optional[typing.Dict[str, typing.Any]],
+) -> typing.Optional[typing.Dict[str, typing.Any]]:
+    """Slim an :meth:`Attribution.budget` dict down to the per-cell
+    ``time_budget`` mapping (None -> no explain pass for this cell)."""
+    if budget is None:
+        return None
+    return {
+        "queued_ms": round(budget["queued_ms"], 3),
+        "blocked_ms": round(budget["blocked_ms"], 3),
+        "executing_ms": round(budget["executing_ms"], 3),
+        "wasted_ms": round(budget["wasted_ms"], 3),
+        "total_ms": round(budget["total_ms"], 3),
+        "fractions": {
+            bucket: round(value, 6)
+            for bucket, value in budget["fractions"].items()
+        },
+    }
+
+
 def arena_payload(
     specs: typing.Sequence[RunSpec],
     results: typing.Sequence[typing.Optional["SimulationResult"]],
@@ -137,6 +172,9 @@ def arena_payload(
         typing.Sequence[typing.Optional[typing.Dict[str, typing.Any]]]
     ] = None,
     *,
+    time_budgets: typing.Optional[
+        typing.Sequence[typing.Optional[typing.Dict[str, typing.Any]]]
+    ] = None,
     git_sha: typing.Optional[str] = None,
     created: typing.Optional[str] = None,
 ) -> typing.Dict[str, typing.Any]:
@@ -144,7 +182,9 @@ def arena_payload(
 
     ``results`` aligns with ``specs`` (None marks a failed cell, which
     is dropped with a note); ``bench_rows`` optionally aligns too and
-    contributes the per-phase cost split.
+    contributes the per-phase cost split; ``time_budgets`` (dicts in
+    the shape of :meth:`Attribution.budget`, from the traced explain
+    pass) aligns as well and contributes the why columns.
     """
     if len(results) != len(specs):
         raise ValueError(
@@ -154,6 +194,11 @@ def arena_payload(
         raise ValueError(
             f"bench_rows/specs length mismatch: "
             f"{len(bench_rows)} vs {len(specs)}"
+        )
+    if time_budgets is not None and len(time_budgets) != len(specs):
+        raise ValueError(
+            f"time_budgets/specs length mismatch: "
+            f"{len(time_budgets)} vs {len(specs)}"
         )
     cells = []
     failed = 0
@@ -187,6 +232,11 @@ def arena_payload(
         )
         if phase is not None:
             cell["phase_cost_s"] = phase
+        budget = _budget_summary(
+            time_budgets[index] if time_budgets is not None else None
+        )
+        if budget is not None:
+            cell["time_budget"] = budget
         cells.append(cell)
     payload: typing.Dict[str, typing.Any] = {
         "schema": ARENA_SCHEMA_VERSION,
@@ -229,6 +279,21 @@ def validate_arena(payload: typing.Dict[str, typing.Any]) -> int:
         phases = cell.get("phase_cost_s")
         if phases is not None and not isinstance(phases, dict):
             raise ValueError(f"cell {index} phase_cost_s must be a mapping")
+        budget = cell.get("time_budget")
+        if budget is not None:
+            if not isinstance(budget, dict):
+                raise ValueError(
+                    f"cell {index} time_budget must be a mapping"
+                )
+            for field in TIME_BUDGET_FIELDS:
+                if field not in budget:
+                    raise ValueError(
+                        f"cell {index} time_budget is missing {field!r}"
+                    )
+            if not isinstance(budget["fractions"], dict):
+                raise ValueError(
+                    f"cell {index} time_budget fractions must be a mapping"
+                )
     return len(cells)
 
 
@@ -265,6 +330,19 @@ def _hot_phase(cell: typing.Dict[str, typing.Any]) -> str:
     return f"{name} ({share:.0f}%)"
 
 
+def _why_columns(cell: typing.Dict[str, typing.Any]) -> str:
+    """The queued/blocked/executing/wasted share cells ('-' quartet
+    when the cell has no explain pass)."""
+    budget = cell.get("time_budget")
+    if not budget:
+        return "- | - | - | -"
+    fractions = budget["fractions"]
+    return " | ".join(
+        f"{100.0 * fractions.get(bucket, 0.0):.0f}%"
+        for bucket in ("queued", "blocked", "executing", "wasted")
+    )
+
+
 def render_arena_markdown(payload: typing.Dict[str, typing.Any]) -> str:
     """The head-to-head report as a markdown document."""
     lines = ["# Scheduler arena", ""]
@@ -285,9 +363,11 @@ def render_arena_markdown(payload: typing.Dict[str, typing.Any]) -> str:
         lines.append("")
         lines.append(
             "| scheduler | family | TPS | mean RT (s) | p95 RT (s) "
-            "| abort rate | blocks | delays | CN util | hot phase |"
+            "| abort rate | blocks | delays | CN util "
+            "| %queued | %blocked | %exec | %wasted | hot phase |"
         )
-        lines.append("|---|---|---|---|---|---|---|---|---|---|")
+        lines.append("|---|---|---|---|---|---|---|---|---|---|---|---|"
+                     "---|---|")
         best = max(cells, key=lambda c: c["throughput_tps"])
         wins[best["scheduler"]] = wins.get(best["scheduler"], 0) + 1
         for cell in cells:
@@ -302,6 +382,7 @@ def render_arena_markdown(payload: typing.Dict[str, typing.Any]) -> str:
                 f"| {cell['blocks']} "
                 f"| {cell['delays']} "
                 f"| {cell['cn_utilisation']:.3f} "
+                f"| {_why_columns(cell)} "
                 f"| {_hot_phase(cell)} |"
             )
         lines.append("")

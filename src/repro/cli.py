@@ -18,6 +18,10 @@ Commands:
   record, validating each against the telemetry schema.
 - ``arena``       -- the pinned scheduler x rate x DD head-to-head
   matrix through the cached runner -> ``results/arena/ARENA.{json,md}``.
+- ``explain``     -- causal time attribution of a traced run (or every
+  traced run of a registry batch): span timelines, batch time budget,
+  lock hotspots, the makespan critical path and anomaly flags ->
+  ``EXPLAIN.{json,md}``.
 - ``backends``    -- list the registered executor backends with their
   capability flags (``sweep``/``bench``/``arena`` select one with
   ``--backend``).
@@ -34,6 +38,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import time
@@ -41,6 +46,7 @@ import typing
 
 from repro import bench as bench_mod
 from repro.analysis import arena as arena_mod
+from repro.analysis import explain as explain_mod
 from repro.analysis import render_table
 from repro.core.registry import available, entries
 from repro.machine.config import MachineConfig
@@ -48,6 +54,7 @@ from repro.obs import (
     MemoryRecorder,
     TelemetrySchemaError,
     TimeSeriesSampler,
+    fold_trace_path,
     format_telemetry_record,
     load_series_json,
     read_status,
@@ -70,10 +77,13 @@ from repro.runner import (
     RunSpec,
     WorkloadSpec,
     backend_names,
+    execute_spec,
     get_backend_info,
+    janitor_sweep,
     worker_pool_loop,
 )
 from repro.runner.runner import _git_sha
+from repro.runner.worker import trace_artifact_path
 from repro.sim.simulation import run_simulation
 from repro.txn.workload import (
     experiment1_workload,
@@ -184,6 +194,9 @@ def build_parser() -> argparse.ArgumentParser:
     rpt.add_argument("series", help="a *.series.json artifact to render")
     rpt.add_argument("--width", type=int, default=48,
                      help="sparkline width in cells (default 48)")
+    rpt.add_argument("--explain", default="",
+                     help="also fold this trace JSONL artifact and lead "
+                          "with its time-budget headline ('' disables)")
 
     ben = sub.add_parser(
         "bench",
@@ -300,7 +313,40 @@ def build_parser() -> argparse.ArgumentParser:
     arn.add_argument("--phase-repeats", type=int, default=1,
                      help="bench repeats per cell in the phase pass "
                           "(default 1)")
+    arn.add_argument("--no-explain", action="store_true",
+                     help="skip the traced explain pass (the per-cell "
+                          "queued/blocked/executing/wasted why columns)")
+    arn.add_argument("--traces-dir", default="results/traces",
+                     help="explain-pass trace artifacts "
+                          "(default results/traces)")
     _add_backend_args(arn)
+
+    exp = sub.add_parser(
+        "explain",
+        help="causal time attribution of a traced run -> "
+             "EXPLAIN.json + markdown",
+    )
+    exp.add_argument("target",
+                     help="a trace JSONL artifact, or a batch "
+                          "id/prefix/'latest' from the run registry "
+                          "(every traced run of the batch is explained)")
+    exp.add_argument("--txn", type=int, default=None,
+                     help="deep-dive one transaction (by original or "
+                          "restart id) instead of the batch report")
+    exp.add_argument("--json", action="store_true",
+                     help="print the EXPLAIN payload as JSON instead of "
+                          "markdown")
+    exp.add_argument("--md", action="store_true",
+                     help="print the markdown report (the default; "
+                          "mutually exclusive with --json)")
+    exp.add_argument("--out", default="results/explain",
+                     help="artifact directory ('' disables writing; "
+                          "default results/explain)")
+    exp.add_argument("--runs-dir", default="results/runs",
+                     help="registry directory for batch targets "
+                          "(default results/runs)")
+    exp.add_argument("--top", type=int, default=10,
+                     help="rows per report section (default 10)")
 
     sub.add_parser(
         "backends",
@@ -339,6 +385,16 @@ def build_parser() -> argparse.ArgumentParser:
     wpl.add_argument("--max-tasks", type=int, default=None,
                      help="exit after executing this many runs "
                           "(default: unbounded)")
+    wpl.add_argument("--janitor", action="store_true",
+                     help="sweep the spool once (expired-lease claims, "
+                          "orphaned sidecars and stale done/ litter "
+                          "removed) and exit instead of serving")
+    wpl.add_argument("--janitor-every", type=float, default=None,
+                     help="also sweep the spool every N seconds while "
+                          "serving (default: no periodic sweep)")
+    wpl.add_argument("--done-max-age", type=float, default=3600.0,
+                     help="done/ results older than this many seconds "
+                          "count as abandoned litter (default 3600)")
 
     sub.add_parser(
         "schedulers",
@@ -680,7 +736,108 @@ def _command_report(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as exc:
         print(f"[report] ERROR: {exc}", file=sys.stderr)
         return 1
+    if args.explain:
+        try:
+            budget = explain_mod.time_budget_of_trace(args.explain)
+        except (OSError, ValueError) as exc:
+            print(f"[report] ERROR: bad --explain trace: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(explain_mod.render_budget_line(budget))
+        print()
     print(render_series_report(payload, width=args.width))
+    return 0
+
+
+def _explain_targets(args: argparse.Namespace) -> typing.List[str]:
+    """Resolve the explain target to one or more trace artifacts."""
+    import pathlib
+
+    if pathlib.Path(args.target).is_file():
+        return [args.target]
+    entry = RunRegistry(args.runs_dir).find(args.target)
+    manifest_path = entry.get("manifest")
+    if not manifest_path:
+        raise LookupError(
+            f"batch {entry['batch']} has no manifest on record"
+        )
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    traces = [
+        run.get("trace_artifact")
+        for run in manifest.get("runs", [])
+        if run.get("trace_artifact")
+    ]
+    if not traces:
+        raise LookupError(
+            f"batch {entry['batch']} recorded no trace artifacts; "
+            "re-run the sweep with --trace"
+        )
+    return traces
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    if args.json and args.md:
+        raise SystemExit("--json and --md are mutually exclusive")
+    try:
+        targets = _explain_targets(args)
+    except (LookupError, OSError, ValueError) as exc:
+        print(f"[explain] ERROR: {exc}", file=sys.stderr)
+        return 1
+    if args.txn is not None and len(targets) > 1:
+        raise SystemExit(
+            "--txn needs a single trace target, "
+            f"got a batch with {len(targets)} traces"
+        )
+    import pathlib
+
+    multi = len(targets) > 1
+    for target in targets:
+        try:
+            attribution = fold_trace_path(target)
+        except (OSError, ValueError) as exc:
+            print(f"[explain] ERROR: {target}: {exc}", file=sys.stderr)
+            return 1
+        if args.txn is not None:
+            try:
+                print(explain_mod.render_txn_markdown(
+                    attribution, args.txn
+                ))
+            except KeyError as exc:
+                print(f"[explain] ERROR: {exc.args[0]}", file=sys.stderr)
+                return 1
+            continue
+        payload = explain_mod.explain_attribution(
+            attribution, source={"trace": str(target)}
+        )
+        try:
+            explain_mod.validate_explain(payload)
+        except ValueError as exc:
+            print(f"[explain] ERROR: invalid payload: {exc}",
+                  file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(payload, indent=1, sort_keys=True))
+        elif multi:
+            print(f"{pathlib.Path(target).name}: "
+                  + explain_mod.render_budget_line(payload["budget"]))
+        else:
+            print(explain_mod.render_explain_markdown(
+                payload, top=args.top
+            ))
+        if args.out:
+            out_dir = pathlib.Path(args.out)
+            if multi:
+                stem = pathlib.Path(target).name
+                for suffix in (".trace.jsonl", ".jsonl"):
+                    if stem.endswith(suffix):
+                        stem = stem[: -len(suffix)]
+                        break
+                out_dir = out_dir / stem
+            json_path, md_path = explain_mod.write_explain(
+                payload, out_dir
+            )
+            print(f"[explain] {json_path} + {md_path} (schema valid)")
     return 0
 
 
@@ -853,6 +1010,42 @@ def _command_tail(args: argparse.Namespace) -> int:
         time.sleep(args.interval)
 
 
+def _arena_time_budgets(
+    args: argparse.Namespace, specs: typing.Sequence[RunSpec]
+) -> typing.List[typing.Optional[typing.Dict[str, typing.Any]]]:
+    """The arena's explain pass: traced re-runs of the matrix, folded
+    into per-cell time budgets (None for a cell whose trace failed).
+
+    The traced pass goes through the same cached runner, so repeats
+    are free; a cache-served cell whose trace artifact has since been
+    pruned is re-executed inline to regenerate it (traced runs are
+    byte-identical to untraced ones, so the budget is authoritative
+    either way).
+    """
+    traced = [dataclasses.replace(spec, trace=True) for spec in specs]
+    runner = ParallelRunner(
+        pool_size=args.pool,
+        cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+        traces_dir=args.traces_dir,
+        backend=args.backend,
+        backend_options=_backend_options(args),
+    )
+    runner.run_batch(traced, label="arena-explain")
+    budgets: typing.List[typing.Optional[typing.Dict[str, typing.Any]]] = []
+    for tspec in traced:
+        path = trace_artifact_path(args.traces_dir, tspec)
+        if not path.exists():
+            execute_spec(tspec, traces_dir=args.traces_dir)
+        try:
+            budgets.append(fold_trace_path(path).budget())
+        except (OSError, ValueError) as exc:
+            print(f"[arena] WARNING: explain pass failed for "
+                  f"{tspec.scheduler} @ {tspec.workload.rate_tps:g} TPS "
+                  f"DD={tspec.config.dd}: {exc}", file=sys.stderr)
+            budgets.append(None)
+    return budgets
+
+
 def _command_arena(args: argparse.Namespace) -> int:
     _check_horizon(args)
     schedulers = (
@@ -902,10 +1095,14 @@ def _command_arena(args: argparse.Namespace) -> int:
         bench_rows = runner.run_bench(
             specs, label="arena-phases", repeats=args.phase_repeats
         )
+    time_budgets = None
+    if not args.no_explain:
+        time_budgets = _arena_time_budgets(args, specs)
     payload = arena_mod.arena_payload(
         specs,
         results,
         bench_rows,
+        time_budgets=time_budgets,
         git_sha=_git_sha(),
         created=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     )
@@ -1016,6 +1213,26 @@ def _command_worker_pool(args: argparse.Namespace) -> int:
         )
     if args.max_tasks is not None and args.max_tasks < 1:
         raise SystemExit(f"--max-tasks must be >= 1, got {args.max_tasks}")
+    if args.janitor_every is not None and args.janitor_every <= 0:
+        raise SystemExit(
+            f"--janitor-every must be > 0, got {args.janitor_every:g}"
+        )
+    if args.done_max_age < 0:
+        raise SystemExit(
+            f"--done-max-age must be >= 0, got {args.done_max_age:g}"
+        )
+    if args.janitor:
+        counts = janitor_sweep(
+            args.spool,
+            lease_s=args.lease,
+            done_max_age_s=args.done_max_age,
+        )
+        print(f"[worker-pool] janitor swept {args.spool}: "
+              f"{counts['done_removed']} stale result(s), "
+              f"{counts['claims_removed']} expired claim(s), "
+              f"{counts['owners_removed']} orphaned sidecar(s), "
+              f"{counts['temps_removed']} temp file(s) removed")
+        return 0
     print(f"[worker-pool] serving spool {args.spool} "
           f"(lease={args.lease:g}s; Ctrl-C to stop)", flush=True)
     try:
@@ -1025,6 +1242,8 @@ def _command_worker_pool(args: argparse.Namespace) -> int:
             lease_s=args.lease,
             idle_exit_s=args.idle_exit,
             max_tasks=args.max_tasks,
+            janitor_every_s=args.janitor_every,
+            done_max_age_s=args.done_max_age,
         )
     except KeyboardInterrupt:
         print("[worker-pool] interrupted", file=sys.stderr)
@@ -1083,6 +1302,8 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
             return _command_tail(args)
         if args.command == "arena":
             return _command_arena(args)
+        if args.command == "explain":
+            return _command_explain(args)
         if args.command == "backends":
             return _command_backends()
         if args.command == "cache":

@@ -24,6 +24,10 @@ Public surface:
 - :mod:`repro.obs.export` -- JSONL, Chrome-trace (Perfetto) and text
   summary exporters.
 - :mod:`repro.obs.schema` -- the event schema and JSONL validator.
+- :mod:`repro.obs.attrib` -- post-hoc causal attribution: span
+  timelines with restart lineage, the conservation invariant, batch
+  time budgets, blocking graphs, critical paths and anomaly flags
+  (the engine behind ``repro explain``).
 - :mod:`repro.obs.timeseries` -- DES-clock time-series sampler with
   ring-buffered series, histograms, CSV/JSON export and sparkline
   reports.
@@ -35,6 +39,15 @@ Public surface:
   ``repro watch`` / ``repro tail`` renderers.
 """
 
+from repro.obs.attrib import (
+    Attribution,
+    ConservationError,
+    Span,
+    TxnTimeline,
+    check_conservation,
+    fold_trace,
+    fold_trace_path,
+)
 from repro.obs.events import EVENT_KINDS, TraceEvent
 from repro.obs.export import (
     render_summary,
@@ -66,6 +79,7 @@ from repro.obs.telemetry import (
     TelemetrySink,
     WorkerTelemetry,
     format_telemetry_record,
+    max_rss_kb,
     read_status,
     read_telemetry_records,
     render_status,
@@ -91,7 +105,9 @@ from repro.obs.timeseries import (
 )
 
 __all__ = [
+    "Attribution",
     "BatchStatus",
+    "ConservationError",
     "EVENT_KINDS",
     "FixedHistogram",
     "LogHistogram",
@@ -105,6 +121,7 @@ __all__ = [
     "SERIES_SCHEMA_VERSION",
     "STATUS_SCHEMA_VERSION",
     "Series",
+    "Span",
     "SimProfiler",
     "TELEMETRY_EVENT_KINDS",
     "TELEMETRY_SCHEMA_VERSION",
@@ -114,10 +131,15 @@ __all__ = [
     "TimeSeriesSampler",
     "TraceEvent",
     "TraceRecorder",
+    "TxnTimeline",
     "WorkerTelemetry",
+    "check_conservation",
+    "fold_trace",
+    "fold_trace_path",
     "format_telemetry_record",
     "gauge",
     "load_series_json",
+    "max_rss_kb",
     "profiled",
     "read_status",
     "read_telemetry_records",

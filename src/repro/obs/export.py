@@ -357,7 +357,9 @@ def render_summary(
     file_block_counts: typing.Dict[int, int] = {}
     waits: typing.List[float] = []
     restarts: typing.List[typing.Tuple[int, int]] = []
+    births: typing.Dict[int, float] = {}
     commits = aborts = 0
+    wasted_ms = 0.0
     for event in events:
         counts[event.kind] = counts.get(event.kind, 0) + 1
         if event.kind == "txn.block":
@@ -368,12 +370,17 @@ def render_summary(
                 blocker_counts[holder] = blocker_counts.get(holder, 0) + 1
         elif event.kind == "txn.lock_acquired":
             waits.append(event.fields["wait_ms"])
+        elif event.kind == "txn.arrive":
+            births[event.fields["txn"]] = event.time
         elif event.kind == "txn.restart":
             restarts.append((event.fields["txn"], event.fields["new_txn"]))
+            births[event.fields["new_txn"]] = event.time
         elif event.kind == "txn.commit":
             commits += 1
         elif event.kind == "txn.abort":
             aborts += 1
+            txn = event.fields["txn"]
+            wasted_ms += event.time - births.get(txn, event.time)
 
     span_ms = events[-1].time - events[0].time if events else 0.0
     lines = [
@@ -419,4 +426,8 @@ def render_summary(
     for chain in sorted(chains, key=len, reverse=True)[:top]:
         arrow = " -> ".join(f"T{t}" for t in chain)
         lines.append(f"    {len(chain) - 1} restart(s): {arrow}")
+    lines.append(
+        f"  restart-wasted work: {wasted_ms:g} ms of simulated "
+        f"progress discarded across {aborts} aborted attempt(s)"
+    )
     return "\n".join(lines)

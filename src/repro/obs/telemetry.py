@@ -28,10 +28,16 @@ import json
 import os
 import pathlib
 import socket
+import sys
 import tempfile
 import time
 import traceback as traceback_mod
 import typing
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
 
 PathLike = typing.Union[str, pathlib.Path]
 
@@ -74,6 +80,21 @@ EWMA_ALPHA = 0.25
 def telemetry_event_kinds() -> typing.Tuple[str, ...]:
     """All known telemetry kinds, sorted (documentation helper)."""
     return tuple(sorted(TELEMETRY_EVENT_KINDS))
+
+
+def max_rss_kb() -> typing.Optional[int]:
+    """This process's peak resident set size in KiB (None when the
+    platform has no ``getrusage``).
+
+    ``ru_maxrss`` is KiB on Linux but bytes on macOS; normalised here so
+    every worker in a mixed fleet reports the same unit.
+    """
+    if _resource is None:
+        return None
+    rss = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        rss //= 1024
+    return int(rss)
 
 
 class TelemetrySchemaError(ValueError):
@@ -339,13 +360,23 @@ class WorkerTelemetry:
         progress = (
             min(1.0, now_ms / self.until_ms) if self.until_ms > 0 else 0.0
         )
+        extra: typing.Dict[str, typing.Any] = {}
+        rss = max_rss_kb()
+        if rss is not None:
+            extra["maxrss_kb"] = rss
         self._emit(
             "run.heartbeat", sim_ms=now_ms, until_ms=self.until_ms,
-            events=events, progress=round(progress, 6),
+            events=events, progress=round(progress, 6), **extra,
         )
 
     def done(self, wall_s: float, events: int) -> None:
-        self._emit("run.done", wall_s=round(wall_s, 6), events=events)
+        extra: typing.Dict[str, typing.Any] = {}
+        rss = max_rss_kb()
+        if rss is not None:
+            extra["maxrss_kb"] = rss
+        self._emit(
+            "run.done", wall_s=round(wall_s, 6), events=events, **extra,
+        )
 
     def error(self, exc: BaseException) -> None:
         self._emit(

@@ -30,6 +30,7 @@ from repro.runner.backends import (
     backend_names,
     create_backend,
     get_backend_info,
+    janitor_sweep,
     register_backend,
     worker_pool_loop,
 )
@@ -76,6 +77,7 @@ __all__ = [
     "print_progress",
     "register_backend",
     "register_workload",
+    "janitor_sweep",
     "spec_digest",
     "worker_pool_loop",
     "workload_kinds",

@@ -24,6 +24,7 @@ from repro.runner.backends.asyncio_subprocess import AsyncioSubprocessBackend
 from repro.runner.backends.local import LocalPoolBackend, SerialBackend
 from repro.runner.backends.shared_dir import (
     SharedDirBackend,
+    janitor_sweep,
     worker_pool_loop,
 )
 
@@ -40,6 +41,7 @@ __all__ = [
     "backend_names",
     "create_backend",
     "get_backend_info",
+    "janitor_sweep",
     "register_backend",
     "worker_pool_loop",
 ]

@@ -314,6 +314,77 @@ class SharedDirBackend(ExecutorBackend):
         self._procs.clear()
 
 
+# -- janitoring ---------------------------------------------------------------
+
+#: default seconds after which a done/ result counts as abandoned litter
+DEFAULT_DONE_MAX_AGE_S = 3600.0
+
+
+def janitor_sweep(
+    spool: typing.Union[str, pathlib.Path],
+    lease_s: float = DEFAULT_LEASE_S,
+    done_max_age_s: float = DEFAULT_DONE_MAX_AGE_S,
+) -> typing.Dict[str, int]:
+    """Remove abandoned spool litter; returns per-category counts.
+
+    A healthy spool cleans itself: workers release claims after writing
+    results, submitters consume result frames.  What accumulates is the
+    debris of departed processes -- result frames nobody will ever
+    collect (the submitter abandoned the attempt or was killed), claims
+    whose lease went stale with no submitter left to notice, owner
+    sidecars orphaned by a crashed worker, and torn ``.spool.*`` temp
+    files.  The sweep removes exactly those four classes and never
+    touches ``pending/`` tickets or fresh claims, so running it beside
+    a live sweep is safe: live claims stay within their lease and live
+    results are consumed faster than ``done_max_age_s``.
+    """
+    pending, claimed, done = spool_dirs(spool)
+    now = time.time()
+    counts = {
+        "done_removed": 0,
+        "claims_removed": 0,
+        "owners_removed": 0,
+        "temps_removed": 0,
+    }
+
+    def age_of(path: pathlib.Path) -> typing.Optional[float]:
+        try:
+            return now - path.stat().st_mtime
+        except OSError:
+            return None  # vanished mid-sweep: someone else handled it
+
+    def remove(path: pathlib.Path, category: str) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            return
+        counts[category] += 1
+
+    for entry in sorted(done.iterdir()):
+        if entry.name.endswith(_RESULT_SUFFIX):
+            age = age_of(entry)
+            if age is not None and age > done_max_age_s:
+                remove(entry, "done_removed")
+    for entry in sorted(claimed.iterdir()):
+        if entry.name.endswith(_OWNER_SUFFIX):
+            ticket = claimed / entry.name[: -len(_OWNER_SUFFIX)]
+            if not ticket.exists():
+                remove(entry, "owners_removed")
+            continue
+        if entry.name.endswith(_TICKET_SUFFIX):
+            age = age_of(entry)
+            if age is not None and age > lease_s:
+                remove(claimed / f"{entry.name}{_OWNER_SUFFIX}",
+                       "owners_removed")
+                remove(entry, "claims_removed")
+    for directory in (pending, claimed, done):
+        for entry in sorted(directory.glob(".spool.*")):
+            age = age_of(entry)
+            if age is not None and age > max(lease_s, done_max_age_s):
+                remove(entry, "temps_removed")
+    return counts
+
+
 # -- the worker side ----------------------------------------------------------
 
 
@@ -404,6 +475,8 @@ def worker_pool_loop(
     lease_s: float = DEFAULT_LEASE_S,
     idle_exit_s: typing.Optional[float] = None,
     max_tasks: typing.Optional[int] = None,
+    janitor_every_s: typing.Optional[float] = None,
+    done_max_age_s: float = DEFAULT_DONE_MAX_AGE_S,
 ) -> int:
     """Claim and execute tickets until told (or idled) out.
 
@@ -411,11 +484,22 @@ def worker_pool_loop(
     directory and it serves whatever sweeps spool tickets there.
     Returns the number of tickets processed (``idle_exit_s`` and
     ``max_tasks`` bound the loop; both default to running forever).
+    ``janitor_every_s`` additionally runs :func:`janitor_sweep` at that
+    cadence, so long-lived workers keep their spool free of litter.
     """
     pending, claimed, done = spool_dirs(spool)
     processed = 0
     idle_since = time.monotonic()
+    last_sweep = time.monotonic()
     while True:
+        if (
+            janitor_every_s is not None
+            and time.monotonic() - last_sweep >= janitor_every_s
+        ):
+            janitor_sweep(
+                spool, lease_s=lease_s, done_max_age_s=done_max_age_s
+            )
+            last_sweep = time.monotonic()
         name = _claim_one(pending, claimed)
         if name is None:
             if (

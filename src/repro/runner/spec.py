@@ -32,8 +32,9 @@ from repro.txn.workload import (
 #: bump when run semantics change so stale cache entries never resurface
 #: (v2: specs carry the ``trace`` flag, so traced and untraced runs hash
 #: to different keys and never collide in the cache; v3: specs carry the
-#: ``timeseries`` flag and results the ``p95_exact`` field)
-CACHE_FORMAT_VERSION = 3
+#: ``timeseries`` flag and results the ``p95_exact`` field; v4: results
+#: carry the ``restart_wasted_ms`` field)
+CACHE_FORMAT_VERSION = 4
 
 WorkloadBuilder = typing.Callable[..., Workload]
 

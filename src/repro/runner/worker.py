@@ -34,7 +34,7 @@ import typing
 from repro.obs.export import write_jsonl
 from repro.obs.profile import PhaseProfiler
 from repro.obs.recorder import MemoryRecorder
-from repro.obs.telemetry import WorkerTelemetry
+from repro.obs.telemetry import WorkerTelemetry, max_rss_kb
 from repro.obs.timeseries import TimeSeriesSampler, write_series_json
 from repro.runner.spec import RunSpec
 from repro.sim.metrics import SimulationResult
@@ -243,6 +243,7 @@ def _bench_repeats(
             "profile": profiler.report(total_s=wall_s),
             "completed": result.completed,
             "throughput_tps": result.throughput_tps,
+            "maxrss_kb": max_rss_kb(),
         }
     assert best is not None
     return best

@@ -46,6 +46,10 @@ class SimulationResult:
     #: True when this result stands in for a degenerate search (e.g. the
     #: C2PL+M MPL sweep committed nothing and fell back to raw C2PL)
     fallback: bool = False
+    #: simulated milliseconds discarded by restarts: each aborted
+    #: attempt contributes (abort time - attempt start), i.e. the work
+    #: and waiting its successor has to redo from scratch
+    restart_wasted_ms: float = 0.0
 
     @property
     def mean_response_s(self) -> float:
@@ -94,6 +98,7 @@ class MetricsCollector:
         self.by_label: typing.Dict[str, Tally] = {}
         self.commits = 0
         self.restarts = 0
+        self.restart_wasted_ms = 0.0
         self.window_start = 0.0
 
     def reset(self, now: float) -> None:
@@ -102,6 +107,7 @@ class MetricsCollector:
         self.by_label.clear()
         self.commits = 0
         self.restarts = 0
+        self.restart_wasted_ms = 0.0
         self.window_start = now
 
     def record_commit(self, response_time_ms: float, label: str = "txn") -> None:
@@ -119,8 +125,9 @@ class MetricsCollector:
             for label, tally in self.by_label.items()
         }
 
-    def record_restart(self) -> None:
+    def record_restart(self, wasted_ms: float = 0.0) -> None:
         self.restarts += 1
+        self.restart_wasted_ms += wasted_ms
 
     def throughput_tps(self, now: float) -> float:
         window = now - self.window_start

@@ -169,6 +169,7 @@ class Simulation:
         cn = self.machine.control_node
         attempt = txn
         while True:
+            attempt_started = self.env.now
             yield from scheduler.admit(attempt)
             yield from self._cn_slice(self.config.sot_time_ms, "startup")
 
@@ -190,7 +191,7 @@ class Simulation:
                 if self.auditor is not None:
                     self.auditor.record_abort(attempt.txn_id)
                 if self.env.now >= self.warmup_ms:
-                    self.metrics.record_restart()
+                    self.metrics.record_restart(self.env.now - attempt_started)
                 restarted = attempt.restart_copy(self._allocate_restart_id())
                 if self.trace.enabled:
                     self.trace.emit(
@@ -213,7 +214,7 @@ class Simulation:
             if self.auditor is not None:
                 self.auditor.record_abort(attempt.txn_id)
             if self.env.now >= self.warmup_ms:
-                self.metrics.record_restart()
+                self.metrics.record_restart(self.env.now - attempt_started)
             restarted = attempt.restart_copy(self._allocate_restart_id())
             if self.trace.enabled:
                 self.trace.emit(
@@ -285,6 +286,7 @@ class Simulation:
             cn_utilisation=self.machine.control_node.utilisation(),
             dpn_utilisation=self.machine.mean_dpn_utilisation(),
             restarts=self.metrics.restarts,
+            restart_wasted_ms=self.metrics.restart_wasted_ms,
             admission_rejections=self.scheduler.stats.admission_rejections.total,
             blocks=self.scheduler.stats.blocks.total,
             delays=self.scheduler.stats.delays.total,

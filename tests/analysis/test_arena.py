@@ -155,3 +155,70 @@ class TestMarkdown:
         assert text.count("**(best)**") == 1
         assert "## Head-to-head" in text
         assert "commit `deadbeef`" in text
+
+
+class TestTimeBudgets:
+    def budget(self, queued=1.0, blocked=2.0, executing=3.0, wasted=4.0):
+        total = queued + blocked + executing + wasted
+        return {
+            "queued_ms": queued,
+            "blocked_ms": blocked,
+            "executing_ms": executing,
+            "wasted_ms": wasted,
+            "total_ms": total,
+            "fractions": {
+                "queued": queued / total,
+                "blocked": blocked / total,
+                "executing": executing / total,
+                "wasted": wasted / total,
+            },
+        }
+
+    def test_time_budgets_attach_and_validate(self, tmp_path):
+        specs = arena_specs(("NODC", "DGCC"), rates=(0.8,), dds=(1,), **QUICK)
+        results = [execute_spec(spec) for spec in specs]
+        payload = arena_payload(
+            specs, results, time_budgets=[self.budget(), None]
+        )
+        assert validate_arena(payload) == 2
+        assert "time_budget" in payload["cells"][0]
+        assert "time_budget" not in payload["cells"][1]
+        budget = payload["cells"][0]["time_budget"]
+        assert budget["fractions"]["wasted"] == pytest.approx(0.4)
+
+    def test_markdown_why_columns_render_shares(self):
+        specs = arena_specs(("NODC",), rates=(0.8,), dds=(1,), **QUICK)
+        results = [execute_spec(specs[0])]
+        payload = arena_payload(
+            specs, results, time_budgets=[self.budget()]
+        )
+        text = render_arena_markdown(payload)
+        assert "| %queued | %blocked | %exec | %wasted |" in text
+        assert "| 10% | 20% | 30% | 40% |" in text
+
+    def test_missing_budget_renders_dashes(self):
+        specs = arena_specs(("NODC",), rates=(0.8,), dds=(1,), **QUICK)
+        results = [execute_spec(specs[0])]
+        payload = arena_payload(specs, results)
+        assert "| - | - | - | - |" in render_arena_markdown(payload)
+
+    def test_validation_rejects_malformed_budget(self):
+        specs = arena_specs(("NODC",), rates=(0.8,), dds=(1,), **QUICK)
+        results = [execute_spec(specs[0])]
+        payload = arena_payload(
+            specs, results, time_budgets=[self.budget()]
+        )
+        broken = {**payload, "cells": [dict(payload["cells"][0])]}
+        broken["cells"][0]["time_budget"] = {"queued_ms": 1.0}
+        with pytest.raises(ValueError, match="time_budget"):
+            validate_arena(broken)
+        not_mapping = {**payload, "cells": [dict(payload["cells"][0])]}
+        not_mapping["cells"][0]["time_budget"] = [1, 2]
+        with pytest.raises(ValueError, match="time_budget"):
+            validate_arena(not_mapping)
+
+    def test_budget_length_mismatch_raises(self):
+        specs = arena_specs(("NODC",), rates=(0.8,), dds=(1,), **QUICK)
+        results = [execute_spec(specs[0])]
+        with pytest.raises(ValueError, match="time_budgets"):
+            arena_payload(specs, results, time_budgets=[None, None])

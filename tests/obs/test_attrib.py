@@ -1,0 +1,285 @@
+"""Span folding and the conservation invariant (``repro.obs.attrib``).
+
+Two layers of coverage:
+
+1. hand-written synthetic streams with known answers (tiling, restart
+   lineage, truncation, the blocking graph, anomaly flags);
+2. real traced runs of **every registered scheduler**, where folding
+   must conserve time exactly for every transaction (the strict fold
+   raises otherwise), including a hypothesis sweep over seeds/rates.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import available
+from repro.machine.config import MachineConfig
+from repro.obs import MemoryRecorder
+from repro.obs.attrib import (
+    CONVOY_MIN_DEPTH,
+    ConservationError,
+    check_conservation,
+    fold_trace,
+)
+from repro.sim.simulation import Simulation
+from repro.txn.workload import experiment1_workload
+
+
+def ev(t, kind, **fields):
+    return {"t": float(t), "kind": kind, **fields}
+
+
+def simple_commit_stream():
+    """T1: arrives at 0, admitted at 10, runs, commits at 100."""
+    return [
+        ev(0, "txn.arrive", txn=1, label="txn"),
+        ev(10, "txn.admit", txn=1),
+        ev(10, "txn.step_start", txn=1, file=3, step=0, cost=1.0),
+        ev(90, "txn.step_end", txn=1, file=3, step=0),
+        ev(100, "txn.commit", txn=1, response_ms=100.0),
+    ]
+
+
+class TestSyntheticTiling:
+    def test_simple_commit_tiles_into_admission_and_executing(self):
+        attribution = fold_trace(simple_commit_stream())
+        timeline = attribution.transactions[1]
+        spans = [span for _, span in timeline.spans()]
+        assert [(s.kind, s.start, s.end) for s in spans] == [
+            ("admission", 0.0, 10.0),
+            ("executing", 10.0, 100.0),
+        ]
+        assert timeline.totals() == {
+            "queued": 10.0, "blocked": 0.0, "executing": 90.0,
+            "wasted": 0.0,
+        }
+
+    def test_lock_wait_becomes_a_blocked_span(self):
+        attribution = fold_trace([
+            ev(0, "txn.arrive", txn=1, label="txn"),
+            ev(0, "txn.admit", txn=1),
+            ev(20, "txn.lock_wait", txn=1, file=3, mode="X"),
+            ev(20, "txn.block", txn=1, file=3, holders=[2]),
+            ev(50, "txn.lock_acquired", txn=1, file=3, wait_ms=30.0),
+            ev(100, "txn.commit", txn=1, response_ms=100.0),
+        ])
+        timeline = attribution.transactions[1]
+        spans = [span for _, span in timeline.spans()]
+        assert [(s.kind, s.start, s.end) for s in spans] == [
+            ("executing", 0.0, 20.0),
+            ("lock_wait", 20.0, 50.0),
+            ("executing", 50.0, 100.0),
+        ]
+        wait = spans[1]
+        assert wait.file == 3 and wait.flavor == "block"
+        assert timeline.totals()["blocked"] == 30.0
+
+    def test_restart_chain_charges_the_aborted_attempt_as_wasted(self):
+        attribution = fold_trace([
+            ev(0, "txn.arrive", txn=1, label="txn"),
+            ev(0, "txn.admit", txn=1),
+            ev(40, "txn.abort", txn=1, reason="deadlock"),
+            ev(40, "txn.restart", txn=1, new_txn=11, reason="deadlock"),
+            ev(45, "txn.admit", txn=11),
+            ev(100, "txn.commit", txn=11, response_ms=100.0),
+        ])
+        assert set(attribution.transactions) == {1}
+        timeline = attribution.transactions[1]
+        assert [a.txn_id for a in timeline.attempts] == [1, 11]
+        assert timeline.attempts[0].outcome == "abort"
+        assert timeline.attempts[0].reason == "deadlock"
+        assert timeline.restarts == 1
+        assert timeline.totals() == {
+            "queued": 5.0, "blocked": 0.0, "executing": 55.0,
+            "wasted": 40.0,
+        }
+
+    def test_abort_while_blocked_closes_the_open_wait(self):
+        attribution = fold_trace([
+            ev(0, "txn.arrive", txn=1, label="txn"),
+            ev(0, "txn.admit", txn=1),
+            ev(10, "txn.lock_wait", txn=1, file=2, mode="X"),
+            ev(10, "txn.block", txn=1, file=2, holders=[9]),
+            ev(30, "txn.abort", txn=1, reason="deadlock"),
+            ev(30, "txn.restart", txn=1, new_txn=11, reason="deadlock"),
+            ev(30, "txn.admit", txn=11),
+            ev(50, "txn.commit", txn=11, response_ms=50.0),
+        ])
+        attempt = attribution.transactions[1].attempts[0]
+        assert attempt.waits[0].end == 30.0
+        kinds = [s.kind for s in attempt.spans]
+        assert kinds == ["executing", "lock_wait"]
+
+    def test_in_flight_attempt_is_truncated_at_stream_end(self):
+        attribution = fold_trace([
+            ev(0, "txn.arrive", txn=1, label="txn"),
+            ev(5, "txn.admit", txn=1),
+            ev(0, "txn.arrive", txn=2, label="txn"),
+            ev(80, "txn.commit", txn=2, response_ms=80.0),
+        ])
+        timeline = attribution.transactions[1]
+        assert timeline.status == "in_flight"
+        assert timeline.attempts[-1].end == 80.0
+        assert timeline.committed is False
+
+    def test_conservation_violation_raises_and_strict_off_tolerates(self):
+        stream = simple_commit_stream()
+        stream[-1] = ev(100, "txn.commit", txn=1, response_ms=90.0)
+        with pytest.raises(ConservationError, match="T1"):
+            fold_trace(stream)
+        attribution = fold_trace(stream, strict=False)
+        assert attribution.transactions[1].response_ms == 90.0
+
+
+class TestSyntheticGraph:
+    def contended_stream(self):
+        """T1 holds F5; T2 and T3 queue behind it."""
+        return [
+            ev(0, "txn.arrive", txn=1, label="txn"),
+            ev(0, "txn.admit", txn=1),
+            ev(0, "txn.arrive", txn=2, label="txn"),
+            ev(0, "txn.admit", txn=2),
+            ev(0, "txn.arrive", txn=3, label="txn"),
+            ev(0, "txn.admit", txn=3),
+            ev(10, "txn.lock_wait", txn=2, file=5, mode="X"),
+            ev(10, "txn.block", txn=2, file=5, holders=[1]),
+            ev(12, "txn.lock_wait", txn=3, file=5, mode="X"),
+            ev(12, "txn.block", txn=3, file=5, holders=[1]),
+            ev(40, "txn.commit", txn=1, response_ms=40.0),
+            ev(40, "txn.lock_acquired", txn=2, file=5, wait_ms=30.0),
+            ev(42, "txn.lock_acquired", txn=3, file=5, wait_ms=30.0),
+            ev(70, "txn.commit", txn=2, response_ms=70.0),
+            ev(72, "txn.commit", txn=3, response_ms=72.0),
+        ]
+
+    def test_hotspots_and_convoy_depth(self):
+        attribution = fold_trace(self.contended_stream())
+        (top,) = attribution.hotspots(top=1)
+        assert top["file"] == 5
+        assert top["waits"] == 2
+        assert top["max_convoy"] == 2
+        assert top["blocked_ms"] == pytest.approx(60.0)
+
+    def test_blocking_edges_split_across_holders(self):
+        attribution = fold_trace(self.contended_stream())
+        edges = dict(
+            ((e["waiter"], e["holder"]), e["ms"])
+            for e in attribution.blocking_edges(top=10)
+        )
+        assert edges[(2, 1)] == pytest.approx(30.0)
+        assert edges[(3, 1)] == pytest.approx(30.0)
+
+    def test_critical_path_jumps_into_the_releasing_holder(self):
+        attribution = fold_trace(self.contended_stream())
+        path = attribution.critical_path()
+        txns = [segment["txn"] for segment in path]
+        # the tail txn (T3) waits on T1, so the walk crosses into T1
+        assert txns[-1] == 3
+        assert 1 in txns
+
+    def test_budget_fractions_sum_to_one(self):
+        budget = fold_trace(self.contended_stream()).budget()
+        assert sum(budget["fractions"].values()) == pytest.approx(1.0)
+        assert budget["total_ms"] == pytest.approx(
+            budget["queued_ms"] + budget["blocked_ms"]
+            + budget["executing_ms"] + budget["wasted_ms"]
+        )
+
+    def test_starvation_flag_on_wait_dominated_outlier(self):
+        stream = []
+        # nine quick transactions set a small median
+        for i in range(1, 10):
+            stream += [
+                ev(0, "txn.arrive", txn=i, label="txn"),
+                ev(0, "txn.admit", txn=i),
+                ev(10, "txn.commit", txn=i, response_ms=10.0),
+            ]
+        # one transaction blocked for almost all of a 200 ms response
+        stream += [
+            ev(0, "txn.arrive", txn=99, label="txn"),
+            ev(0, "txn.admit", txn=99),
+            ev(10, "txn.lock_wait", txn=99, file=1, mode="X"),
+            ev(10, "txn.block", txn=99, file=1, holders=[1]),
+            ev(190, "txn.lock_acquired", txn=99, file=1, wait_ms=180.0),
+            ev(200, "txn.commit", txn=99, response_ms=200.0),
+        ]
+        flags = fold_trace(stream).anomalies()
+        starved = [f for f in flags if f["kind"] == "starvation"]
+        assert [f["txn"] for f in starved] == [99]
+
+    def test_convoy_flag_needs_min_depth(self):
+        stream = [
+            ev(0, "txn.arrive", txn=1, label="txn"),
+            ev(0, "txn.admit", txn=1),
+        ]
+        waiters = range(2, 2 + CONVOY_MIN_DEPTH)
+        for i in waiters:
+            stream += [
+                ev(0, "txn.arrive", txn=i, label="txn"),
+                ev(0, "txn.admit", txn=i),
+                ev(5, "txn.lock_wait", txn=i, file=7, mode="X"),
+                ev(5, "txn.block", txn=i, file=7, holders=[1]),
+            ]
+        stream.append(ev(50, "txn.commit", txn=1, response_ms=50.0))
+        for i in waiters:
+            stream.append(
+                ev(50, "txn.lock_acquired", txn=i, file=7, wait_ms=45.0)
+            )
+        for i in waiters:
+            stream.append(ev(60, "txn.commit", txn=i, response_ms=60.0))
+        flags = fold_trace(stream).anomalies()
+        convoys = [f for f in flags if f["kind"] == "convoy"]
+        assert [f["file"] for f in convoys] == [7]
+        assert convoys[0]["max_convoy"] == CONVOY_MIN_DEPTH
+
+
+def traced_attribution(scheduler, seed=3, rate=1.2, duration_ms=30_000.0):
+    recorder = MemoryRecorder()
+    Simulation(
+        MachineConfig(dd=1),
+        experiment1_workload(rate),
+        scheduler=scheduler,
+        seed=seed,
+        duration_ms=duration_ms,
+        warmup_ms=0.0,
+        recorder=recorder,
+    ).run()
+    return fold_trace(recorder.events)  # strict: conservation asserted
+
+
+class TestRealRunsConserve:
+    @pytest.mark.parametrize("scheduler", available())
+    def test_every_registered_scheduler_conserves_time(self, scheduler):
+        attribution = traced_attribution(scheduler)
+        # strict fold already asserted it; assert again explicitly and
+        # check the committed rows really carry a response time
+        check_conservation(attribution)
+        committed = [
+            t for t in attribution.transactions.values() if t.committed
+        ]
+        assert committed, f"{scheduler}: nothing committed in the window"
+        for timeline in committed:
+            total = sum(s.duration for _, s in timeline.spans())
+            assert math.isclose(
+                total, timeline.response_ms, rel_tol=1e-9, abs_tol=1e-6
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        scheduler=st.sampled_from(available()),
+        seed=st.integers(min_value=0, max_value=7),
+        rate=st.sampled_from([0.8, 1.2, 1.6]),
+    )
+    def test_conservation_holds_across_seeds_and_rates(
+        self, scheduler, seed, rate
+    ):
+        attribution = traced_attribution(
+            scheduler, seed=seed, rate=rate, duration_ms=20_000.0
+        )
+        check_conservation(attribution)
+        budget = attribution.budget()
+        if budget["total_ms"] > 0:
+            assert sum(budget["fractions"].values()) == pytest.approx(1.0)

@@ -411,3 +411,30 @@ class TestRendering:
             {"ts": 1700000000.0, "kind": kind, **EXAMPLES[kind]}
         )
         assert kind in line
+
+
+class TestPeakRss:
+    def test_max_rss_kb_reports_a_sane_figure(self):
+        from repro.obs.telemetry import max_rss_kb
+
+        rss = max_rss_kb()
+        # this test process has the interpreter + pytest resident, so
+        # anything from a few MB to a few GB is plausible
+        assert rss is not None
+        assert 1_000 < rss < 64 * 1024 * 1024
+
+    def test_heartbeat_and_done_carry_maxrss(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        worker = WorkerTelemetry(
+            str(path), cell=0, until_ms=1000.0, heartbeat_s=0.0,
+        )
+        worker.start()
+        worker._on_progress(500.0, 32)
+        worker.done(wall_s=0.1, events=64)
+        records = read_telemetry_records(path, 0)[0]
+        by_kind = {r["kind"]: r for r in records}
+        assert by_kind["run.heartbeat"]["maxrss_kb"] > 0
+        assert by_kind["run.done"]["maxrss_kb"] > 0
+        # optional field: the stream still validates
+        for record in records:
+            validate_telemetry_event(record)

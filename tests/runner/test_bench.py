@@ -252,3 +252,24 @@ class TestRunBench:
         rows = runner.run_bench(specs, repeats=1)
         assert [r["scheduler"] for r in rows] == [s.scheduler for s in specs]
         bench_payload(rows, git_sha=None)  # rows slot into a valid payload
+
+
+class TestBenchPeakRss:
+    def test_bench_rows_carry_maxrss(self):
+        from repro.runner import execute_bench
+        from repro.runner.spec import RunSpec, WorkloadSpec
+        from repro.machine.config import MachineConfig
+
+        row = execute_bench(RunSpec(
+            scheduler="NODC",
+            workload=WorkloadSpec.make("exp1", 0.8),
+            config=MachineConfig(dd=1),
+            seed=0,
+            duration_ms=10_000.0,
+            warmup_ms=0.0,
+        ))
+        assert row["maxrss_kb"] is None or row["maxrss_kb"] > 0
+        # on POSIX hosts (the CI floor) the figure must be present
+        import resource  # noqa: F401  -- import works => getrusage exists
+
+        assert row["maxrss_kb"] > 1_000

@@ -1,0 +1,94 @@
+"""The shared-dir spool janitor: abandoned litter goes, live state stays."""
+
+import os
+
+from repro.runner import janitor_sweep
+from repro.runner.backends.shared_dir import (
+    DEFAULT_DONE_MAX_AGE_S,
+    spool_dirs,
+)
+
+
+def backdate(path, seconds):
+    stamp = path.stat().st_mtime - seconds
+    os.utime(path, (stamp, stamp))
+
+
+def populate(spool):
+    """A spool mixing every litter class with live state."""
+    pending, claimed, done = spool_dirs(spool)
+
+    (pending / "fresh.task.json").write_text("{}")
+
+    live_ticket = claimed / "live.task.json"
+    live_ticket.write_text("{}")
+    (claimed / "live.task.json.owner.json").write_text("{}")
+
+    stale_ticket = claimed / "stale.task.json"
+    stale_ticket.write_text("{}")
+    stale_owner = claimed / "stale.task.json.owner.json"
+    stale_owner.write_text("{}")
+    backdate(stale_ticket, 120.0)
+    backdate(stale_owner, 120.0)
+
+    orphan = claimed / "gone.task.json.owner.json"
+    orphan.write_text("{}")
+
+    old_result = done / "old.result.json"
+    old_result.write_text("{}")
+    backdate(old_result, DEFAULT_DONE_MAX_AGE_S + 60.0)
+    (done / "fresh.result.json").write_text("{}")
+
+    torn = pending / ".spool.abc123"
+    torn.write_text("")
+    backdate(torn, DEFAULT_DONE_MAX_AGE_S + 60.0)
+    return pending, claimed, done
+
+
+class TestJanitorSweep:
+    def test_removes_exactly_the_abandoned_litter(self, tmp_path):
+        pending, claimed, done = populate(tmp_path)
+        counts = janitor_sweep(tmp_path, lease_s=15.0)
+        assert counts == {
+            "done_removed": 1,
+            "claims_removed": 1,
+            "owners_removed": 2,  # expired claim's sidecar + the orphan
+            "temps_removed": 1,
+        }
+        # live state is untouched
+        assert (pending / "fresh.task.json").exists()
+        assert (claimed / "live.task.json").exists()
+        assert (claimed / "live.task.json.owner.json").exists()
+        assert (done / "fresh.result.json").exists()
+        # litter is gone
+        assert not (claimed / "stale.task.json").exists()
+        assert not (claimed / "stale.task.json.owner.json").exists()
+        assert not (claimed / "gone.task.json.owner.json").exists()
+        assert not (done / "old.result.json").exists()
+        assert not (pending / ".spool.abc123").exists()
+
+    def test_clean_spool_sweeps_to_zero(self, tmp_path):
+        spool_dirs(tmp_path)
+        counts = janitor_sweep(tmp_path)
+        assert counts == {
+            "done_removed": 0,
+            "claims_removed": 0,
+            "owners_removed": 0,
+            "temps_removed": 0,
+        }
+
+    def test_longer_lease_preserves_middle_aged_claims(self, tmp_path):
+        _pending, claimed, _done = spool_dirs(tmp_path)
+        ticket = claimed / "mid.task.json"
+        ticket.write_text("{}")
+        backdate(ticket, 120.0)
+        assert janitor_sweep(tmp_path, lease_s=600.0)["claims_removed"] == 0
+        assert ticket.exists()
+        assert janitor_sweep(tmp_path, lease_s=15.0)["claims_removed"] == 1
+        assert not ticket.exists()
+
+    def test_sweep_is_idempotent(self, tmp_path):
+        populate(tmp_path)
+        janitor_sweep(tmp_path, lease_s=15.0)
+        second = janitor_sweep(tmp_path, lease_s=15.0)
+        assert sum(second.values()) == 0

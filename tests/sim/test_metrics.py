@@ -102,3 +102,55 @@ class TestP95Exactness:
         payload = make_result().to_dict()
         del payload["p95_exact"]
         assert SimulationResult.from_dict(payload).p95_exact is True
+
+
+class TestRestartWastedWork:
+    def test_record_restart_accumulates_wasted_ms(self):
+        metrics = MetricsCollector()
+        metrics.record_restart(1_500.0)
+        metrics.record_restart(500.0)
+        assert metrics.restarts == 2
+        assert metrics.restart_wasted_ms == pytest.approx(2_000.0)
+
+    def test_reset_clears_wasted(self):
+        metrics = MetricsCollector()
+        metrics.record_restart(1_000.0)
+        metrics.reset(10_000.0)
+        assert metrics.restart_wasted_ms == 0.0
+
+    def test_result_field_round_trips(self):
+        result = make_result(restarts=3, restart_wasted_ms=1234.5)
+        clone = SimulationResult.from_dict(result.to_dict())
+        assert clone.restart_wasted_ms == pytest.approx(1234.5)
+
+    def test_restarting_run_reports_wasted_simulated_time(self):
+        from repro.machine.config import MachineConfig
+        from repro.sim.simulation import Simulation
+        from repro.txn.workload import experiment1_workload
+
+        result = Simulation(
+            MachineConfig(dd=1),
+            experiment1_workload(1.2),
+            scheduler="OPT",  # validation aborts restart often
+            seed=3,
+            duration_ms=40_000.0,
+            warmup_ms=0.0,
+        ).run()
+        assert result.restarts > 0
+        assert result.restart_wasted_ms > 0.0
+
+    def test_restart_free_run_wastes_nothing(self):
+        from repro.machine.config import MachineConfig
+        from repro.sim.simulation import Simulation
+        from repro.txn.workload import experiment1_workload
+
+        result = Simulation(
+            MachineConfig(dd=1),
+            experiment1_workload(0.8),
+            scheduler="NODC",  # serial execution: no conflicts ever
+            seed=1,
+            duration_ms=30_000.0,
+            warmup_ms=0.0,
+        ).run()
+        assert result.restarts == 0
+        assert result.restart_wasted_ms == 0.0

@@ -387,27 +387,42 @@ class TestArenaCommand:
             "--pool", "1",
             "--cache-dir", str(tmp_path / "cache"),
             "--out", str(tmp_path / "arena"),
+            "--traces-dir", str(tmp_path / "traces"),
             *extra,
         ])
 
     def test_writes_valid_report_pair(self, tmp_path, capsys):
-        assert self.run_arena(tmp_path, "--no-phases") == 0
+        assert self.run_arena(tmp_path, "--no-phases", "--no-explain") == 0
         out = capsys.readouterr().out
         assert "2 cell(s)" in out and "schema valid" in out
         payload = load_arena(tmp_path / "arena" / "ARENA.json")
         assert [c["scheduler"] for c in payload["cells"]] == ["NODC", "DGCC"]
         assert "phase_cost_s" not in payload["cells"][0]
+        assert "time_budget" not in payload["cells"][0]
         md = (tmp_path / "arena" / "ARENA.md").read_text(encoding="utf-8")
         assert "**(best)**" in md
 
     def test_phase_pass_adds_cost_split(self, tmp_path, capsys):
-        assert self.run_arena(tmp_path) == 0
+        assert self.run_arena(tmp_path, "--no-explain") == 0
         payload = load_arena(tmp_path / "arena" / "ARENA.json")
         for cell in payload["cells"]:
             assert cell["phase_cost_s"]
         assert "hot phase" in (tmp_path / "arena" / "ARENA.md").read_text(
             encoding="utf-8"
         )
+
+    def test_explain_pass_adds_time_budgets(self, tmp_path, capsys):
+        assert self.run_arena(tmp_path, "--no-phases") == 0
+        payload = load_arena(tmp_path / "arena" / "ARENA.json")
+        for cell in payload["cells"]:
+            budget = cell["time_budget"]
+            assert budget["total_ms"] > 0
+            assert set(budget["fractions"]) == {
+                "queued", "blocked", "executing", "wasted",
+            }
+        md = (tmp_path / "arena" / "ARENA.md").read_text(encoding="utf-8")
+        assert "%queued" in md and "%wasted" in md
+        assert (tmp_path / "traces").glob("*.trace.jsonl")
 
     def test_unknown_scheduler_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
@@ -526,3 +541,101 @@ class TestWorkerPoolCommand:
         with pytest.raises(SystemExit):
             main(["worker-pool", "--spool", str(tmp_path),
                   "--max-tasks", "0"])
+
+
+class TestExplainCommand:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        path = tmp_path / "run.trace.jsonl"
+        assert main([
+            "trace", "LOW", "--rate", "1.2", "--duration", "30000",
+            "--warmup", "0", "--seed", "3",
+            "--jsonl", str(path), "--chrome", "",
+        ]) == 0
+        return path
+
+    def test_explain_writes_validated_artifact_pair(
+        self, trace_path, tmp_path, capsys
+    ):
+        out = tmp_path / "explain"
+        assert main(["explain", str(trace_path), "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "## Time budget" in stdout
+        assert "schema valid" in stdout
+        from repro.analysis.explain import load_explain
+
+        payload = load_explain(out / "EXPLAIN.json")
+        assert payload["source"]["trace"] == str(trace_path)
+        assert (out / "EXPLAIN.md").read_text(encoding="utf-8").startswith(
+            "# Explain"
+        )
+
+    def test_explain_json_emits_machine_readable_payload(
+        self, trace_path, capsys
+    ):
+        import json as json_mod
+
+        assert main([
+            "explain", str(trace_path), "--json", "--out", "",
+        ]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["kind"] == "explain"
+        assert payload["budget"]["total_ms"] > 0
+
+    def test_explain_txn_deep_dive(self, trace_path, capsys):
+        assert main([
+            "explain", str(trace_path), "--txn", "1", "--out", "",
+        ]) == 0
+        assert "# Transaction T1" in capsys.readouterr().out
+
+    def test_explain_rejects_json_plus_md(self, trace_path):
+        with pytest.raises(SystemExit):
+            main(["explain", str(trace_path), "--json", "--md"])
+
+    def test_explain_missing_target_fails(self, tmp_path):
+        assert main([
+            "explain", str(tmp_path / "nope.trace.jsonl"), "--out", "",
+        ]) != 0
+
+    def test_report_leads_with_budget_headline(
+        self, trace_path, tmp_path, capsys
+    ):
+        series = tmp_path / "run.series.json"
+        assert main([
+            "run", "LOW", "--rate", "1.2", "--duration", "30000",
+            "--warmup", "0", "--seed", "3", "--series", str(series),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "report", str(series), "--explain", str(trace_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("time budget")
+        assert "queued" in out and "wasted" in out
+
+
+class TestJanitorCommand:
+    def test_janitor_sweeps_and_reports_counts(self, tmp_path, capsys):
+        from repro.runner.backends.shared_dir import spool_dirs
+
+        _pending, _claimed, done = spool_dirs(tmp_path)
+        litter = done / "old.result.json"
+        litter.write_text("{}")
+        import os as os_mod
+
+        old = litter.stat().st_mtime - 7200.0
+        os_mod.utime(litter, (old, old))
+        assert main([
+            "worker-pool", "--spool", str(tmp_path), "--janitor",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1 stale result(s)" in out
+        assert not litter.exists()
+
+    def test_janitor_flags_validated(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["worker-pool", "--spool", str(tmp_path),
+                  "--janitor-every", "0"])
+        with pytest.raises(SystemExit):
+            main(["worker-pool", "--spool", str(tmp_path),
+                  "--done-max-age", "-1"])
