@@ -239,6 +239,7 @@ def arena_payload(
             cell["time_budget"] = budget
         cells.append(cell)
     payload: typing.Dict[str, typing.Any] = {
+        "schema_version": ARENA_SCHEMA_VERSION,
         "schema": ARENA_SCHEMA_VERSION,
         "kind": "arena",
         "cells": cells,
@@ -260,10 +261,21 @@ def validate_arena(payload: typing.Dict[str, typing.Any]) -> int:
     """
     if payload.get("kind") != "arena":
         raise ValueError(f"kind must be 'arena', got {payload.get('kind')!r}")
-    if payload.get("schema") != ARENA_SCHEMA_VERSION:
+    version = payload.get("schema_version", payload.get("schema"))
+    if version is None:
         raise ValueError(
-            f"schema must be {ARENA_SCHEMA_VERSION}, "
-            f"got {payload.get('schema')!r}"
+            "arena artifact carries no schema_version (nor the legacy "
+            "schema) stamp"
+        )
+    if version != ARENA_SCHEMA_VERSION:
+        raise ValueError(
+            f"unknown arena schema_version {version!r}; this build "
+            f"supports {ARENA_SCHEMA_VERSION}"
+        )
+    legacy = payload.get("schema")
+    if "schema_version" in payload and legacy not in (None, version):
+        raise ValueError(
+            f"schema_version {version!r} contradicts schema {legacy!r}"
         )
     cells = payload.get("cells")
     if not isinstance(cells, list) or not cells:

@@ -13,8 +13,11 @@ result cache, self-profiler attached -- and writes one
 
 ``repro bench --compare A B`` diffs two artifacts cell-by-cell (keyed
 by scheduler/workload/rate/dd/seed/duration) and flags any cell whose
-``events_per_s`` dropped by more than the tolerance -- the CI bench job
-runs exactly this against the committed baseline.
+``events_per_s`` dropped by more than the tolerance, or whose peak RSS
+(``maxrss_kb``, recorded per row since the telemetry layer grew
+:func:`~repro.obs.telemetry.max_rss_kb`) grew beyond the separate
+memory tolerance -- the CI bench job runs exactly this against the
+committed baseline.
 """
 
 from __future__ import annotations
@@ -31,11 +34,20 @@ from repro.runner.spec import RunSpec, WorkloadSpec
 
 PathLike = typing.Union[str, pathlib.Path]
 
-#: bump when the BENCH_*.json payload changes incompatibly
+#: bump when the BENCH_*.json payload changes incompatibly.  Stamped
+#: into every payload both as the uniform top-level ``schema_version``
+#: (the key every artifact family now shares) and as the historical
+#: ``bench_schema_version`` alias.
 BENCH_SCHEMA_VERSION = 1
 
 #: default regression tolerance: fail when events/s drops > 25%
 DEFAULT_TOLERANCE = 0.25
+
+#: default memory-regression tolerance: fail when a cell's peak RSS
+#: grows > 30%.  Looser than the speed tolerance because ``maxrss_kb``
+#: is a process-lifetime high-water mark: allocator and import-order
+#: noise moves it in coarse steps, while a real leak blows well past it.
+DEFAULT_MEM_TOLERANCE = 0.30
 
 #: the pinned measurement matrix: (scheduler, rate_tps, dd) cells.
 #: Chosen to cover the cost spectrum -- C2PL (predeclared locking),
@@ -123,6 +135,7 @@ def bench_payload(
     cross-host hardware), so comparisons should check it matches.
     """
     payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
         "bench_schema_version": BENCH_SCHEMA_VERSION,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "git_sha": git_sha,
@@ -164,13 +177,31 @@ def load_bench_json(path: PathLike) -> typing.Dict[str, typing.Any]:
 
 
 def validate_bench(payload: typing.Mapping[str, typing.Any]) -> None:
-    """Raise ``ValueError`` unless ``payload`` is a valid BENCH artifact."""
+    """Raise ``ValueError`` unless ``payload`` is a valid BENCH artifact.
+
+    The schema stamp is read from the uniform ``schema_version`` key,
+    falling back to the historical ``bench_schema_version`` alias for
+    artifacts written before the stamp was unified; an unknown version
+    under either key is rejected outright.
+    """
     if not isinstance(payload, dict):
         raise ValueError("bench artifact must be a JSON object")
-    version = payload.get("bench_schema_version")
+    version = payload.get("schema_version", payload.get("bench_schema_version"))
+    if version is None:
+        raise ValueError(
+            "bench artifact carries no schema_version (nor the legacy "
+            "bench_schema_version) stamp"
+        )
     if version != BENCH_SCHEMA_VERSION:
         raise ValueError(
-            f"bench schema {version!r} != supported {BENCH_SCHEMA_VERSION}"
+            f"unknown bench schema_version {version!r}; this build "
+            f"supports {BENCH_SCHEMA_VERSION}"
+        )
+    legacy = payload.get("bench_schema_version")
+    if "schema_version" in payload and legacy not in (None, version):
+        raise ValueError(
+            f"schema_version {version!r} contradicts "
+            f"bench_schema_version {legacy!r}"
         )
     runs = payload.get("runs")
     if not isinstance(runs, list) or not runs:
@@ -214,26 +245,44 @@ def compare_bench(
     baseline: typing.Mapping[str, typing.Any],
     current: typing.Mapping[str, typing.Any],
     tolerance: float = DEFAULT_TOLERANCE,
+    mem_tolerance: float = DEFAULT_MEM_TOLERANCE,
 ) -> typing.Dict[str, typing.Any]:
-    """Diff two BENCH artifacts on ``events_per_s``, cell by cell.
+    """Diff two BENCH artifacts on ``events_per_s`` *and* ``maxrss_kb``,
+    cell by cell.
 
     A cell *regresses* when its current speed falls below
-    ``baseline * (1 - tolerance)``.  Cells present in only one artifact
-    are reported but never fail the comparison (the matrix may grow).
+    ``baseline * (1 - tolerance)``; it *memory-regresses* when its peak
+    RSS grows above ``baseline * (1 + mem_tolerance)`` (cells lacking
+    ``maxrss_kb`` on either side -- pre-PR-9 artifacts, non-POSIX hosts
+    -- are skipped for the memory check only).  Cells present in only
+    one artifact are reported but never fail the comparison (the matrix
+    may grow).
 
-    The overall verdict (``failed``) is noise-hardened: it trips when
-    the *aggregate* speed over all matched cells (total events / total
-    wall) regressed beyond the tolerance, or when at least
-    :data:`REGRESSION_QUORUM` of the matched cells regressed
-    individually (minimum one).  A single noisy cell on an otherwise
-    healthy run reports as a regression but does not fail the gate.
+    The overall verdict (``failed``) is noise-hardened and trips when
+    any of the following holds:
+
+    - the *aggregate* speed over all matched cells (total events /
+      total wall) regressed beyond the tolerance;
+    - at least :data:`REGRESSION_QUORUM` of the matched cells regressed
+      individually (minimum one);
+    - the peak RSS over all memory-matched cells grew beyond the memory
+      tolerance, or a quorum of those cells memory-regressed.
+
+    A single noisy cell on an otherwise healthy run reports as a
+    regression but does not fail the gate.
     """
     if not 0 < tolerance < 1:
         raise ValueError(f"tolerance must be in (0, 1), got {tolerance}")
+    if mem_tolerance <= 0:
+        raise ValueError(
+            f"mem_tolerance must be > 0, got {mem_tolerance}"
+        )
     base_rows = {_run_key(row): row for row in baseline["runs"]}
     curr_rows = {_run_key(row): row for row in current["runs"]}
     cells = []
     regressions = 0
+    mem_regressions = 0
+    mem_matched = 0
     for key in sorted(set(base_rows) | set(curr_rows)):
         base, curr = base_rows.get(key), curr_rows.get(key)
         cell: typing.Dict[str, typing.Any] = {
@@ -256,6 +305,19 @@ def compare_bench(
                 regressions += 1
             else:
                 cell["status"] = "ok"
+            base_rss = base.get("maxrss_kb")
+            curr_rss = curr.get("maxrss_kb")
+            if base_rss and curr_rss:
+                mem_matched += 1
+                mem_ratio = curr_rss / base_rss
+                cell["baseline_maxrss_kb"] = base_rss
+                cell["current_maxrss_kb"] = curr_rss
+                cell["mem_ratio"] = round(mem_ratio, 4)
+                if mem_ratio > 1.0 + mem_tolerance:
+                    cell["mem_status"] = "regression"
+                    mem_regressions += 1
+                else:
+                    cell["mem_status"] = "ok"
         cells.append(cell)
     host_mismatch = [
         field
@@ -280,7 +342,21 @@ def compare_bench(
                 "current_events_per_s": round(curr_speed, 3),
                 "ratio": round(curr_speed / base_speed, 4),
             }
+    mem_aggregate: typing.Optional[typing.Dict[str, typing.Any]] = None
+    mem_keys = [
+        k for k in matched
+        if base_rows[k].get("maxrss_kb") and curr_rows[k].get("maxrss_kb")
+    ]
+    if mem_keys:
+        base_peak = max(base_rows[k]["maxrss_kb"] for k in mem_keys)
+        curr_peak = max(curr_rows[k]["maxrss_kb"] for k in mem_keys)
+        mem_aggregate = {
+            "baseline_peak_kb": base_peak,
+            "current_peak_kb": curr_peak,
+            "ratio": round(curr_peak / base_peak, 4),
+        }
     quorum = max(1, math.ceil(REGRESSION_QUORUM * len(matched)))
+    mem_quorum = max(1, math.ceil(REGRESSION_QUORUM * mem_matched))
     fail_reasons = []
     if aggregate is not None and aggregate["ratio"] < 1.0 - tolerance:
         fail_reasons.append(
@@ -292,12 +368,30 @@ def compare_bench(
             f"{regressions} of {len(matched)} matched cell(s) regressed "
             f"(quorum {quorum})"
         )
+    if (
+        mem_aggregate is not None
+        and mem_aggregate["ratio"] > 1.0 + mem_tolerance
+    ):
+        fail_reasons.append(
+            f"peak RSS ratio {mem_aggregate['ratio']:.3f} above "
+            f"{1.0 + mem_tolerance:.2f}"
+        )
+    if mem_matched and mem_regressions >= mem_quorum:
+        fail_reasons.append(
+            f"{mem_regressions} of {mem_matched} memory-matched cell(s) "
+            f"grew beyond the memory tolerance (quorum {mem_quorum})"
+        )
     return {
         "tolerance": tolerance,
+        "mem_tolerance": mem_tolerance,
         "cells": cells,
         "regressions": regressions,
+        "mem_regressions": mem_regressions,
+        "mem_matched": mem_matched,
         "aggregate": aggregate,
+        "mem_aggregate": mem_aggregate,
         "quorum": quorum,
+        "mem_quorum": mem_quorum,
         "failed": bool(fail_reasons),
         "fail_reasons": fail_reasons,
         "host_mismatch": host_mismatch,
@@ -347,7 +441,8 @@ def render_bench_report(payload: typing.Mapping[str, typing.Any]) -> str:
 def render_compare_report(report: typing.Mapping[str, typing.Any]) -> str:
     """Terminal diff of :func:`compare_bench` output."""
     lines = [
-        f"bench compare: tolerance {report['tolerance'] * 100:.0f}%, "
+        f"bench compare: tolerance {report['tolerance'] * 100:.0f}% "
+        f"(memory {report.get('mem_tolerance', 0) * 100:.0f}%), "
         f"baseline git={report.get('baseline_sha') or '?'} -> "
         f"current git={report.get('current_sha') or '?'}",
     ]
@@ -366,13 +461,16 @@ def render_compare_report(report: typing.Mapping[str, typing.Any]) -> str:
         base = cell["baseline_events_per_s"]
         curr = cell["current_events_per_s"]
         ratio = cell.get("ratio")
+        status = cell["status"]
+        if cell.get("mem_status") == "regression":
+            status += f" +mem x{cell['mem_ratio']:.2f}"
         lines.append(
             f"  {cell['scheduler']:<8} {cell['rate_tps']:>5g} "
             f"{cell['dd']:>3} "
             f"{base if base is not None else '-':>10} "
             f"{curr if curr is not None else '-':>10} "
             f"{f'{ratio:.3f}' if ratio is not None else '-':>7}  "
-            f"{cell['status']}"
+            f"{status}"
         )
     lines.append("")
     aggregate = report.get("aggregate")
@@ -382,14 +480,24 @@ def render_compare_report(report: typing.Mapping[str, typing.Any]) -> str:
             f"{aggregate['current_events_per_s']:.0f} events/s "
             f"(ratio {aggregate['ratio']:.3f})"
         )
+    mem_aggregate = report.get("mem_aggregate")
+    if mem_aggregate is not None:
+        lines.append(
+            f"  peak RSS: {mem_aggregate['baseline_peak_kb']} -> "
+            f"{mem_aggregate['current_peak_kb']} KiB "
+            f"(ratio {mem_aggregate['ratio']:.3f}; "
+            f"{report.get('mem_matched', 0)} cell(s) matched)"
+        )
     if report["failed"]:
         for reason in report["fail_reasons"]:
             lines.append(f"  FAIL: {reason}")
-    elif report["regressions"]:
+    elif report["regressions"] or report.get("mem_regressions"):
         lines.append(
-            f"  OK (noisy): {report['regressions']} cell(s) regressed but "
-            f"neither the aggregate nor the quorum of {report['quorum']} "
-            "tripped"
+            f"  OK (noisy): {report['regressions']} speed / "
+            f"{report.get('mem_regressions', 0)} memory cell(s) regressed "
+            f"but neither an aggregate nor a quorum "
+            f"({report['quorum']} speed / {report.get('mem_quorum', 1)} "
+            "memory) tripped"
         )
     else:
         lines.append("  OK: no cell regressed beyond tolerance")

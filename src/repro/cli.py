@@ -10,7 +10,13 @@ Commands:
   per-run trace artifact, ``--timeseries`` a sampled-series artifact).
 - ``report``      -- terminal sparkline view of a series artifact.
 - ``bench``       -- the pinned perf matrix -> ``BENCH_<date>.json``;
-  ``--compare A B`` diffs two artifacts and fails on regressions.
+  ``--compare A B`` diffs two artifacts and fails on speed *or* memory
+  regressions.
+- ``history``     -- the longitudinal metrics history store:
+  ``ingest`` artifacts (BENCH/ARENA/EXPLAIN payloads, telemetry
+  streams) into ``results/history/``, ``report`` renders the
+  ``HISTORY.{json,md}`` trend dashboard, ``check`` exits non-zero on a
+  confirmed regression against the trailing window.
 - ``watch``       -- live console view of a telemetry-enabled batch
   (``--once`` renders a single frame, for CI).
 - ``runs``        -- ``list``/``show`` the persistent run registry.
@@ -40,6 +46,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import pathlib
 import sys
 import time
 import typing
@@ -48,6 +55,8 @@ from repro import bench as bench_mod
 from repro.analysis import arena as arena_mod
 from repro.analysis import explain as explain_mod
 from repro.analysis import render_table
+from repro.analysis import trends as trends_mod
+from repro.obs import history as history_mod
 from repro.core.registry import available, entries
 from repro.machine.config import MachineConfig
 from repro.obs import (
@@ -209,6 +218,10 @@ def build_parser() -> argparse.ArgumentParser:
                      default=bench_mod.DEFAULT_TOLERANCE,
                      help="regression tolerance as a fraction "
                           f"(default {bench_mod.DEFAULT_TOLERANCE})")
+    ben.add_argument("--mem-tolerance", type=float,
+                     default=bench_mod.DEFAULT_MEM_TOLERANCE,
+                     help="peak-RSS growth tolerance for --compare "
+                          f"(default {bench_mod.DEFAULT_MEM_TOLERANCE})")
     ben.add_argument("--out", default="results/bench",
                      help="artifact directory (default results/bench)")
     ben.add_argument("--output", default="",
@@ -233,6 +246,60 @@ def build_parser() -> argparse.ArgumentParser:
                      help="registry/telemetry directory used with "
                           "--telemetry (default results/runs)")
     _add_backend_args(ben)
+
+    his = sub.add_parser(
+        "history",
+        help="longitudinal metrics history: ingest/report/check",
+    )
+    his_sub = his.add_subparsers(dest="history_command")
+    his_ing = his_sub.add_parser(
+        "ingest",
+        help="append artifacts to the history store (dedup by digest)",
+    )
+    his_ing.add_argument(
+        "artifacts", nargs="+",
+        help="BENCH/ARENA/EXPLAIN JSON payloads or telemetry .jsonl "
+             "streams (family auto-detected)")
+    his_ing.add_argument("--store", default=history_mod.DEFAULT_STORE_DIR,
+                         help="store directory "
+                              f"(default {history_mod.DEFAULT_STORE_DIR})")
+    his_ing.add_argument("--family", default="auto",
+                         choices=("auto",) + history_mod.FAMILIES,
+                         help="override artifact family detection")
+    his_rep = his_sub.add_parser(
+        "report",
+        help="render the HISTORY.{json,md} trend dashboard",
+    )
+    his_chk = his_sub.add_parser(
+        "check",
+        help="exit non-zero on a confirmed regression vs the trailing "
+             "window",
+    )
+    for his_common in (his_rep, his_chk):
+        his_common.add_argument(
+            "--store", default=history_mod.DEFAULT_STORE_DIR,
+            help="store directory "
+                 f"(default {history_mod.DEFAULT_STORE_DIR})")
+        his_common.add_argument(
+            "--tolerance", type=float,
+            default=bench_mod.DEFAULT_TOLERANCE,
+            help="speed regression tolerance "
+                 f"(default {bench_mod.DEFAULT_TOLERANCE})")
+        his_common.add_argument(
+            "--mem-tolerance", type=float,
+            default=bench_mod.DEFAULT_MEM_TOLERANCE,
+            help="memory growth tolerance "
+                 f"(default {bench_mod.DEFAULT_MEM_TOLERANCE})")
+        his_common.add_argument(
+            "--window", type=int,
+            default=trends_mod.DEFAULT_WINDOW,
+            help="trailing snapshots forming the baseline "
+                 f"median (default {trends_mod.DEFAULT_WINDOW})")
+    his_rep.add_argument("--out", default="",
+                         help="directory for HISTORY.json/HISTORY.md "
+                              "(default: the store directory)")
+    his_rep.add_argument("--width", type=int, default=24,
+                         help="sparkline width in cells (default 24)")
 
     wch = sub.add_parser(
         "watch",
@@ -850,7 +917,9 @@ def _command_bench(args: argparse.Namespace) -> int:
             print(f"[bench] ERROR: {exc}", file=sys.stderr)
             return 1
         report = bench_mod.compare_bench(
-            baseline, current, tolerance=args.tolerance
+            baseline, current,
+            tolerance=args.tolerance,
+            mem_tolerance=args.mem_tolerance,
         )
         print(bench_mod.render_compare_report(report))
         return 1 if report["failed"] else 0
@@ -894,6 +963,68 @@ def _command_bench(args: argparse.Namespace) -> int:
     print()
     print(f"[bench] artifact -> {path} (schema valid)")
     return 0
+
+
+def _command_history(args: argparse.Namespace) -> int:
+    if not args.history_command:
+        print("[history] pick a subcommand: ingest | report | check",
+              file=sys.stderr)
+        return 2
+    store = history_mod.HistoryStore(args.store)
+    if args.history_command == "ingest":
+        failures = 0
+        for artifact in args.artifacts:
+            try:
+                outcome = store.ingest(artifact, family=args.family)
+            except (OSError, ValueError) as exc:
+                print(f"[history] ERROR: {artifact}: {exc}",
+                      file=sys.stderr)
+                failures += 1
+                continue
+            if outcome["skipped"]:
+                print(f"[history] {artifact}: already ingested "
+                      f"(snapshot {outcome['snapshot']})")
+            else:
+                print(f"[history] {artifact}: +{outcome['added']} "
+                      f"{outcome['family']} record(s) "
+                      f"(snapshot {outcome['snapshot']})")
+        print(f"[history] store -> {store.path}")
+        return 1 if failures else 0
+
+    try:
+        payload = trends_mod.history_report(
+            store,
+            tolerance=args.tolerance,
+            mem_tolerance=args.mem_tolerance,
+            window=args.window,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"[history] ERROR: {exc}", file=sys.stderr)
+        return 1
+    if not payload["snapshots"]:
+        print(f"[history] store {store.path} is empty; run "
+              "`repro history ingest` first", file=sys.stderr)
+        return 1
+    verdict = payload["verdict"]
+    if args.history_command == "check":
+        status = "OK" if verdict["ok"] else "REGRESSION"
+        print(f"[history] {status}: {len(payload['snapshots'])} "
+              f"snapshot(s), {verdict['evaluated']} cell(s) evaluated, "
+              f"{verdict['regressions']} regressed "
+              f"(quorum {verdict['quorum']}), {verdict['mem_growth']} "
+              f"grew in memory (quorum {verdict['mem_quorum']})")
+        for reason in verdict["reasons"]:
+            print(f"[history]   - {reason}")
+        return 0 if verdict["ok"] else 1
+    out_dir = pathlib.Path(args.out) if args.out else store.root
+    json_path = out_dir / "HISTORY.json"
+    md_path = out_dir / "HISTORY.md"
+    trends_mod.write_history(payload, json_path, md_path)
+    print(trends_mod.render_history_markdown(
+        payload, spark_width=args.width
+    ))
+    print(f"[history] artifacts -> {json_path} + {md_path} (schema valid)")
+    return 1 if not verdict["ok"] else 0
 
 
 def _resolve_batch(
@@ -1294,6 +1425,8 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
             return _command_report(args)
         if args.command == "bench":
             return _command_bench(args)
+        if args.command == "history":
+            return _command_history(args)
         if args.command == "watch":
             return _command_watch(args)
         if args.command == "runs":

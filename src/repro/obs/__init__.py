@@ -37,6 +37,11 @@ Public surface:
 - :mod:`repro.obs.telemetry` -- live batch telemetry: worker lifecycle
   JSONL streams, heartbeats, the ``status.json`` aggregator and the
   ``repro watch`` / ``repro tail`` renderers.
+- :mod:`repro.obs.history` -- the longitudinal metrics history store:
+  append-only schema-versioned JSONL under ``results/history/``
+  ingesting BENCH/ARENA/EXPLAIN payloads and telemetry peaks (the
+  store behind ``repro history`` and
+  :mod:`repro.analysis.trends`).
 """
 
 from repro.obs.attrib import (
@@ -49,6 +54,15 @@ from repro.obs.attrib import (
     fold_trace_path,
 )
 from repro.obs.events import EVENT_KINDS, TraceEvent
+from repro.obs.history import (
+    HISTORY_SCHEMA_VERSION,
+    HistorySchemaError,
+    HistoryStore,
+    artifact_digest,
+    detect_family,
+    extract_records,
+    validate_history_record,
+)
 from repro.obs.export import (
     render_summary,
     to_chrome_trace,
@@ -110,6 +124,9 @@ __all__ = [
     "ConservationError",
     "EVENT_KINDS",
     "FixedHistogram",
+    "HISTORY_SCHEMA_VERSION",
+    "HistorySchemaError",
+    "HistoryStore",
     "LogHistogram",
     "MemoryRecorder",
     "NULL_PROFILER",
@@ -133,7 +150,10 @@ __all__ = [
     "TraceRecorder",
     "TxnTimeline",
     "WorkerTelemetry",
+    "artifact_digest",
     "check_conservation",
+    "detect_family",
+    "extract_records",
     "fold_trace",
     "fold_trace_path",
     "format_telemetry_record",
@@ -150,6 +170,7 @@ __all__ = [
     "telemetry_event_kinds",
     "to_chrome_trace",
     "validate_event",
+    "validate_history_record",
     "validate_jsonl",
     "validate_series",
     "validate_telemetry_event",

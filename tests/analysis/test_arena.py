@@ -128,6 +128,30 @@ class TestValidation:
             with pytest.raises(ValueError):
                 validate_arena(broken)
 
+    def test_payload_stamps_top_level_schema_version(self):
+        _specs, payload = tiny_payload()
+        assert payload["schema_version"] == ARENA_SCHEMA_VERSION
+
+    def test_rejects_unknown_schema_version(self):
+        _specs, payload = tiny_payload()
+        broken = {**payload, "schema_version": 999, "schema": 999}
+        with pytest.raises(ValueError, match="unknown arena schema_version"):
+            validate_arena(broken)
+
+    def test_accepts_legacy_schema_key_only(self):
+        _specs, payload = tiny_payload()
+        legacy = dict(payload)
+        del legacy["schema_version"]
+        validate_arena(legacy)
+
+    def test_rejects_missing_schema_stamp(self):
+        _specs, payload = tiny_payload()
+        unstamped = dict(payload)
+        del unstamped["schema_version"]
+        del unstamped["schema"]
+        with pytest.raises(ValueError, match="no schema_version"):
+            validate_arena(unstamped)
+
     def test_rejects_missing_field_and_bad_family(self):
         _specs, payload = tiny_payload()
         missing = {**payload, "cells": [dict(payload["cells"][0])]}

@@ -89,6 +89,29 @@ class TestBenchPayload:
 
     def test_validate_rejects_wrong_schema(self):
         payload = quick_payload(n=1)
+        payload["schema_version"] = 999
+        payload["bench_schema_version"] = 999
+        with pytest.raises(ValueError, match="unknown bench schema_version"):
+            validate_bench(payload)
+
+    def test_payload_stamps_top_level_schema_version(self):
+        payload = quick_payload(n=1)
+        assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+
+    def test_validate_accepts_legacy_key_only(self):
+        payload = quick_payload(n=1)
+        del payload["schema_version"]
+        validate_bench(payload)
+
+    def test_validate_rejects_missing_schema_stamp(self):
+        payload = quick_payload(n=1)
+        del payload["schema_version"]
+        del payload["bench_schema_version"]
+        with pytest.raises(ValueError, match="no schema_version"):
+            validate_bench(payload)
+
+    def test_validate_rejects_contradicting_schema_keys(self):
+        payload = quick_payload(n=1)
         payload["bench_schema_version"] = 999
         with pytest.raises(ValueError):
             validate_bench(payload)
@@ -214,6 +237,101 @@ class TestCompare:
         report = compare_bench(baseline, current)
         assert report["host_mismatch"] == ["machine"]
         assert report["regressions"] == 0
+
+
+def with_maxrss(payload, kb):
+    """A copy where every run row reports ``kb`` of peak RSS."""
+    stamped = copy.deepcopy(payload)
+    for row in stamped["runs"]:
+        row["maxrss_kb"] = kb
+    return stamped
+
+
+class TestMemCompare:
+    def test_memory_growth_beyond_tolerance_fails(self):
+        baseline = with_maxrss(synthetic_payload(20), 100_000)
+        current = with_maxrss(baseline, 150_000)  # 1.5x > the 1.30 gate
+        report = compare_bench(baseline, current)
+        assert report["mem_matched"] == 20
+        assert report["mem_regressions"] == 20
+        assert report["failed"] is True
+        assert any("memory" in r for r in report["fail_reasons"])
+        bad = report["cells"][0]
+        assert bad["mem_status"] == "regression"
+        assert bad["mem_ratio"] == pytest.approx(1.5)
+        # speed was untouched: the fail is memory-only
+        assert report["regressions"] == 0
+
+    def test_memory_within_tolerance_is_ok(self):
+        baseline = with_maxrss(synthetic_payload(4), 100_000)
+        current = with_maxrss(baseline, 120_000)  # 1.2x < 1.30
+        report = compare_bench(baseline, current)
+        assert report["mem_regressions"] == 0
+        assert report["failed"] is False
+        assert all(c.get("mem_status") == "ok" for c in report["cells"])
+
+    def test_mem_tolerance_is_independent_of_speed_tolerance(self):
+        baseline = with_maxrss(synthetic_payload(4), 100_000)
+        current = with_maxrss(baseline, 120_000)
+        tight = compare_bench(baseline, current, mem_tolerance=0.10)
+        assert tight["mem_regressions"] == 4
+        assert tight["failed"] is True
+        loose = compare_bench(baseline, current, mem_tolerance=0.50)
+        assert loose["failed"] is False
+
+    def test_one_noisy_mem_cell_stays_below_quorum(self):
+        # one cell grows 1.4x per-cell, but the fleet peak (set by the
+        # other cells) is unchanged: flagged, below quorum, no fail
+        baseline = with_maxrss(synthetic_payload(20), 200_000)
+        baseline["runs"][0]["maxrss_kb"] = 100_000
+        current = copy.deepcopy(baseline)
+        current["runs"][0]["maxrss_kb"] = 140_000
+        report = compare_bench(baseline, current)
+        assert report["mem_regressions"] == 1
+        assert report["mem_quorum"] == 3  # ceil(0.125 * 20)
+        assert report["mem_aggregate"]["ratio"] == pytest.approx(1.0)
+        assert report["failed"] is False
+
+    def test_single_cell_peak_doubling_trips_the_aggregate(self):
+        # peak RSS is a max-type resource: one cell doubling the fleet
+        # peak is a real regression even below the cell-count quorum
+        baseline = with_maxrss(synthetic_payload(20), 100_000)
+        current = copy.deepcopy(baseline)
+        current["runs"][0]["maxrss_kb"] = 200_000
+        report = compare_bench(baseline, current)
+        assert report["mem_regressions"] == 1 < report["mem_quorum"]
+        assert report["mem_aggregate"]["ratio"] == pytest.approx(2.0)
+        assert report["failed"] is True
+        assert any("peak RSS" in r for r in report["fail_reasons"])
+
+    def test_rows_without_maxrss_are_skipped(self):
+        baseline = synthetic_payload(4)  # no maxrss_kb anywhere
+        report = compare_bench(baseline, baseline)
+        assert report["mem_matched"] == 0
+        assert report["mem_regressions"] == 0
+        assert report["mem_aggregate"] is None
+        assert report["failed"] is False
+
+    def test_peak_aggregate_tracks_the_worst_cell(self):
+        baseline = with_maxrss(synthetic_payload(4), 100_000)
+        current = copy.deepcopy(baseline)
+        current["runs"][2]["maxrss_kb"] = 180_000
+        report = compare_bench(baseline, current)
+        assert report["mem_aggregate"]["baseline_peak_kb"] == 100_000
+        assert report["mem_aggregate"]["current_peak_kb"] == 180_000
+        assert report["mem_aggregate"]["ratio"] == pytest.approx(1.8)
+
+    def test_rejects_nonpositive_mem_tolerance(self):
+        payload = quick_payload(n=1)
+        with pytest.raises(ValueError):
+            compare_bench(payload, payload, mem_tolerance=0.0)
+
+    def test_compare_report_shows_memory_verdict(self):
+        baseline = with_maxrss(synthetic_payload(4), 100_000)
+        current = with_maxrss(baseline, 160_000)
+        text = render_compare_report(compare_bench(baseline, current))
+        assert "+mem" in text
+        assert "FAIL" in text
 
 
 class TestRendering:
